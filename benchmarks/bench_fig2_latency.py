@@ -1,0 +1,49 @@
+"""EXP-F2 bench: regenerate the Fig. 2 latency comparison.
+
+Paper claim (§3.1): "ARP-Path chooses lower latency paths as opposed to
+STP that builds a routing tree rooted at an arbitrary switch."
+
+Expected shape: ARP-Path takes a low-latency ring path (~50 us RTT);
+STP and SPB take the 1-hop high-latency cross (~1 ms RTT); speedup is
+roughly the cross/ring latency ratio (~20x with default parameters).
+"""
+
+from conftest import banner, run_once
+
+from repro.experiments import fig2_latency
+from repro.experiments.common import spec
+
+
+def test_fig2_latency_comparison(benchmark):
+    result = run_once(benchmark, lambda: fig2_latency.run(
+        probes=20,
+        protocols=[spec("arppath"), spec("stp", stp_scale=0.1),
+                   spec("spb")]))
+    banner("Fig. 2 — ARP-Path vs STP vs SPB latency (demo topology)")
+    print(result.table())
+    speedup = result.speedup()
+    print(f"\nARP-Path speedup over STP: {speedup:.1f}x")
+    benchmark.extra_info["speedup_vs_stp"] = round(speedup, 2)
+    assert speedup > 5
+
+
+def test_fig2_sensitivity_to_cross_latency(benchmark):
+    """Sweep the cross-cable latency: the ARP-Path advantage tracks it."""
+    from repro.topology.library import DemoParams
+
+    def sweep():
+        rows = []
+        for cross in (50e-6, 200e-6, 500e-6, 2000e-6):
+            result = fig2_latency.run(
+                probes=10, params=DemoParams(cross_latency=cross),
+                protocols=[spec("arppath"), spec("stp", stp_scale=0.1)])
+            rows.append((cross, result.speedup()))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    banner("Fig. 2 sweep — speedup vs cross-link latency")
+    from repro.metrics.report import format_table
+    print(format_table(["cross_latency_us", "arppath_speedup"],
+                       [[c * 1e6, f"{s:.1f}x"] for c, s in rows]))
+    speedups = [s for _c, s in rows]
+    assert speedups == sorted(speedups)  # monotone in cross latency

@@ -1,0 +1,51 @@
+"""EXP-A2 bench: load distribution and path diversity.
+
+Paper claim (§2.2): "Load distribution and path diversity".
+
+Expected shape: on a leaf/spine fabric ARP-Path uses every link with a
+low coefficient of variation; STP and SPB funnel all flows through one
+spine (half the links idle, cv = 1 with two spines).
+"""
+
+from conftest import banner, run_once
+
+from repro.experiments import loadbalance
+from repro.experiments.common import spec
+from repro.metrics.report import format_table
+
+
+def test_load_distribution(benchmark):
+    result = run_once(benchmark, lambda: loadbalance.run(
+        protocols=[spec("arppath"), spec("stp", stp_scale=0.1),
+                   spec("spb")]))
+    banner("EXP-A2 — per-link load over a 4-leaf/2-spine fabric")
+    print(result.table())
+    arp = next(r for r in result.rows if r.protocol == "arppath")
+    stp_row = next(r for r in result.rows if r.protocol.startswith("stp"))
+    benchmark.extra_info["arppath_cv"] = round(arp.report.cv, 3)
+    benchmark.extra_info["stp_cv"] = round(stp_row.report.cv, 3)
+    assert arp.report.used_links == arp.report.total_links
+    assert arp.report.cv < stp_row.report.cv
+    assert all(r.delivery_rate == 1.0 for r in result.rows)
+
+
+def test_load_distribution_idle_vs_loaded_resolution(benchmark):
+    """Ablation: resolving paths on an idle fabric loses the diversity
+    that queue-steered races provide."""
+
+    def both():
+        loaded = loadbalance.run_protocol(spec("arppath"),
+                                          resolve_under_load=True)
+        idle = loadbalance.run_protocol(spec("arppath"),
+                                        resolve_under_load=False)
+        return loaded, idle
+
+    loaded, idle = run_once(benchmark, both)
+    banner("EXP-A2 ablation — resolution under load vs on idle fabric")
+    print(format_table(
+        ["resolution", "links_used", "cv", "max/mean"],
+        [["under load", loaded.report.used_links, loaded.report.cv,
+          loaded.report.max_over_mean],
+         ["idle fabric", idle.report.used_links, idle.report.cv,
+          idle.report.max_over_mean]]))
+    assert loaded.report.used_links >= idle.report.used_links

@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""The paper's §3.1 demo: ARP-Path vs STP latency, side by side.
+
+Runs the same physical wiring under ARP-Path, 802.1D STP and the
+link-state SPB baseline, pings A<->B under each, and prints the latency
+table the demo GUI graphed — plus each protocol's chosen path, so you
+can see *why* the numbers differ.
+
+Run:  python examples/stp_comparison.py
+"""
+
+from repro.experiments import fig2_latency
+from repro.experiments.common import spec
+
+
+def main() -> None:
+    result = fig2_latency.run(probes=20, protocols=[
+        spec("arppath"),
+        spec("stp", stp_scale=0.1),  # scaled timers; path choice identical
+        spec("spb"),
+    ])
+    print(result.table())
+    print()
+    speedup = result.speedup()
+    if speedup is not None:
+        print(f"ARP-Path RTT advantage over STP: {speedup:.1f}x")
+    print("\nWhy: 802.1D path costs depend on bandwidth only, so STP's "
+          "tree happily\nuses the 1-hop, 500us cross cable; the ARP race "
+          "actually *measures* each\npath and keeps the 2-hop, 20us one.")
+
+
+if __name__ == "__main__":
+    main()

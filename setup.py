@@ -1,0 +1,8 @@
+"""Shim for legacy editable installs (pip install -e . --no-use-pep517).
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

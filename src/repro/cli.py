@@ -1,0 +1,198 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+The demo's operator clicked buttons in a GUI; here the same actions are
+subcommands::
+
+    python -m repro.cli fig2 --probes 20
+    python -m repro.cli fig3 --failures 2
+    python -m repro.cli stretch --bridges 10 --seeds 0 1 2
+    python -m repro.cli loopfree --topologies grid ring
+    python -m repro.cli proxy --rounds 3
+    python -m repro.cli loadbalance
+    python -m repro.cli ablations
+    python -m repro.cli ping --protocol arppath --count 5
+
+Each subcommand prints the experiment's result table to stdout and
+exits 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _add_fig2(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "fig2", help="Fig. 2: ARP-Path vs STP vs SPB latency")
+    parser.add_argument("--probes", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--cross-latency-us", type=float, default=500.0)
+
+    def run(args) -> int:
+        from repro.experiments import fig2_latency
+        from repro.experiments.common import spec
+        from repro.topology.library import DemoParams
+        result = fig2_latency.run(
+            probes=args.probes, seed=args.seed,
+            params=DemoParams(cross_latency=args.cross_latency_us * 1e-6),
+            protocols=[spec("arppath"), spec("stp", stp_scale=0.1),
+                       spec("spb")])
+        print(result.table())
+        speedup = result.speedup()
+        if speedup is not None:
+            print(f"\nARP-Path speedup over STP: {speedup:.1f}x")
+        return 0
+
+    parser.set_defaults(run=run)
+
+
+def _add_fig3(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "fig3", help="Fig. 3: path repair under successive failures")
+    parser.add_argument("--failures", type=int, default=2)
+    parser.add_argument("--fps", type=float, default=25.0)
+    parser.add_argument("--seed", type=int, default=0)
+
+    def run(args) -> int:
+        from repro.experiments import fig3_repair
+        result = fig3_repair.run(failures=args.failures, fps=args.fps,
+                                 seed=args.seed)
+        print(result.table())
+        return 0
+
+    parser.set_defaults(run=run)
+
+
+def _add_stretch(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "stretch", help="EXP-P1: path stretch vs latency oracle")
+    parser.add_argument("--bridges", type=int, default=10)
+    parser.add_argument("--hosts", type=int, default=4)
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+
+    def run(args) -> int:
+        from repro.experiments import stretch
+        result = stretch.run(n_bridges=args.bridges, hosts=args.hosts,
+                             seeds=list(args.seeds))
+        print(result.table())
+        return 0
+
+    parser.set_defaults(run=run)
+
+
+def _add_loopfree(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "loopfree", help="EXP-P2: loop freedom and link utilisation")
+    parser.add_argument("--topologies", nargs="+", default=["grid", "ring"],
+                        choices=["grid", "ring"])
+    parser.add_argument("--seed", type=int, default=0)
+
+    def run(args) -> int:
+        from repro.experiments import loopfree
+        result = loopfree.run(topologies=list(args.topologies),
+                              seed=args.seed)
+        print(result.table())
+        return 0
+
+    parser.set_defaults(run=run)
+
+
+def _add_proxy(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "proxy", help="EXP-A1: ARP proxy broadcast suppression")
+    parser.add_argument("--rows", type=int, default=3)
+    parser.add_argument("--cols", type=int, default=3)
+    parser.add_argument("--rounds", type=int, default=3)
+
+    def run(args) -> int:
+        from repro.experiments import broadcast
+        result = broadcast.run(rows=args.rows, cols=args.cols,
+                               rounds=args.rounds)
+        print(result.table())
+        reduction = result.reduction()
+        if reduction is not None:
+            print(f"\nsuppression factor: {reduction:.2f}x")
+        return 0
+
+    parser.set_defaults(run=run)
+
+
+def _add_loadbalance(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "loadbalance", help="EXP-A2: load distribution over a fabric")
+    parser.add_argument("--pods", type=int, default=4)
+    parser.add_argument("--packets", type=int, default=50)
+
+    def run(args) -> int:
+        from repro.experiments import loadbalance
+        result = loadbalance.run(pods=args.pods, packets=args.packets)
+        print(result.table())
+        return 0
+
+    parser.set_defaults(run=run)
+
+
+def _add_ablations(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "ablations", help="EXP-A3: design-knob sweeps")
+    parser.add_argument("--seed", type=int, default=0)
+
+    def run(args) -> int:
+        from repro.experiments import ablations
+        print(ablations.run(seed=args.seed).table())
+        return 0
+
+    parser.set_defaults(run=run)
+
+
+def _add_ping(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "ping", help="interactive check: ping A<->B on the demo topology")
+    # No "learning" choice: a plain learning switch melts down on the
+    # demo topology's loops (that failure mode is demonstrated in the
+    # loop-freedom bench instead).
+    parser.add_argument("--protocol", default="arppath",
+                        choices=["arppath", "stp", "spb"])
+    parser.add_argument("--count", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+
+    def run(args) -> int:
+        from repro.experiments.common import spec
+        from repro.experiments.fig2_latency import run_protocol
+        chosen = spec(args.protocol) if args.protocol != "stp" \
+            else spec("stp", stp_scale=0.1)
+        row = run_protocol(chosen, probes=args.count, seed=args.seed)
+        print(f"protocol: {row.protocol}")
+        print(f"path:     A -> {row.path_str} -> B")
+        print(f"rtt:      mean {row.rtt.mean * 1e6:.1f}us  "
+              f"p95 {row.rtt.p95 * 1e6:.1f}us  losses {row.losses}")
+        return 0
+
+    parser.set_defaults(run=run)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ARP-Path reproduction: run the paper's experiments.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_fig2(subparsers)
+    _add_fig3(subparsers)
+    _add_stretch(subparsers)
+    _add_loopfree(subparsers)
+    _add_proxy(subparsers)
+    _add_loadbalance(subparsers)
+    _add_ablations(subparsers)
+    _add_ping(subparsers)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,257 @@
+"""The ARP-Path locked address table.
+
+This is the data structure the paper's whole mechanism rests on
+(§2.1.1): the first copy of a discovery broadcast **locks** the source
+address to its ingress port; later copies arriving on other ports are
+*discarded*, because they travelled a slower path. Unicast frames that
+then flow over the chosen path **confirm** entries into a long-lived
+LEARNT state.
+
+Unlike a classic 802.1 filtering database (``repro.switching.table``),
+an entry here answers two different questions:
+
+* data-plane lookup — *which port reaches this address?* (same as FDB);
+* discovery filter — *on which port do I accept broadcasts from this
+  address?* (this is what makes flooding loop-free without STP).
+
+Non-path broadcasts (§2.1.3) are filtered by separate short-lived
+*guard* entries that never serve unicast lookups and never create
+paths.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.frames.mac import MAC
+from repro.netsim.node import Port
+
+
+class EntryState(enum.Enum):
+    """Lifecycle of a locked-table entry."""
+
+    #: Created by the first copy of a discovery broadcast; short timer.
+    LOCKED = "locked"
+    #: Confirmed by unicast traffic along the path; long, refreshed timer.
+    LEARNT = "learnt"
+
+
+@dataclass
+class PathEntry:
+    """One address → port association.
+
+    ``race_until`` marks the end of the discovery race that created the
+    entry: while armed, discovery broadcasts from this address arriving
+    on *other* ports are losers of that race and must be discarded —
+    even after a unicast has already confirmed the entry to LEARNT
+    (the confirmation can arrive long before the slowest race copy).
+    """
+
+    mac: MAC
+    port: Port
+    state: EntryState
+    created: float
+    expires: float
+    race_until: float = 0.0
+
+    @property
+    def is_locked(self) -> bool:
+        return self.state is EntryState.LOCKED
+
+    @property
+    def is_learnt(self) -> bool:
+        return self.state is EntryState.LEARNT
+
+    def race_active(self, now: float) -> bool:
+        """True while the discovery race that set this entry is running."""
+        return self.race_until > now
+
+
+@dataclass
+class TableCounters:
+    locks: int = 0
+    relocks: int = 0
+    learns: int = 0
+    confirms: int = 0
+    refreshes: int = 0
+    expiries: int = 0
+    port_flushes: int = 0
+    blocked_moves: int = 0
+
+
+class LockedAddressTable:
+    """MAC → (port, state) with the ARP-Path locking semantics."""
+
+    def __init__(self, lock_timeout: float, learnt_timeout: float,
+                 guard_timeout: float):
+        self.lock_timeout = lock_timeout
+        self.learnt_timeout = learnt_timeout
+        self.guard_timeout = guard_timeout
+        self._entries: Dict[MAC, PathEntry] = {}
+        self._guards: Dict[MAC, Tuple[Port, float]] = {}
+        self.counters = TableCounters()
+
+    # -- path entries ----------------------------------------------------
+
+    def get(self, mac: MAC, now: float) -> Optional[PathEntry]:
+        """The live entry for *mac*, or None (expired entries are reaped)."""
+        entry = self._entries.get(mac)
+        if entry is None:
+            return None
+        if entry.expires <= now:
+            del self._entries[mac]
+            self.counters.expiries += 1
+            return None
+        return entry
+
+    def lock(self, mac: MAC, port: Port, now: float) -> PathEntry:
+        """Lock *mac* to *port* (first copy of a discovery broadcast).
+
+        Replaces any existing entry: a fresh discovery race always
+        starts from the winning copy's port. Loop-freedom within one
+        race is guaranteed by the LOCKED state, not by history.
+        """
+        if mac in self._entries:
+            self.counters.relocks += 1
+        else:
+            self.counters.locks += 1
+        entry = PathEntry(mac=mac, port=port, state=EntryState.LOCKED,
+                          created=now, expires=now + self.lock_timeout,
+                          race_until=now + self.lock_timeout)
+        self._entries[mac] = entry
+        return entry
+
+    def learn(self, mac: MAC, port: Port, now: float) -> PathEntry:
+        """Learn/refresh *mac* on *port* in LEARNT state (unicast source).
+
+        If a live entry exists on a *different* port it is preserved
+        (paths are sticky until they expire or fail); the attempt is
+        counted as a blocked move and the existing entry returned.
+        """
+        existing = self.get(mac, now)
+        if existing is not None and existing.port is not port:
+            self.counters.blocked_moves += 1
+            return existing
+        if existing is not None:
+            if existing.is_locked:
+                self.counters.confirms += 1
+            else:
+                self.counters.refreshes += 1
+        else:
+            self.counters.learns += 1
+        entry = PathEntry(mac=mac, port=port, state=EntryState.LEARNT,
+                          created=existing.created if existing else now,
+                          expires=now + self.learnt_timeout,
+                          race_until=existing.race_until if existing else 0.0)
+        self._entries[mac] = entry
+        return entry
+
+    def confirm(self, mac: MAC, now: float) -> Optional[PathEntry]:
+        """Upgrade a LOCKED entry to LEARNT (unicast travelled the path).
+
+        This is the §2.1.2 step: the ARP Reply converts the temporary
+        reverse path into an established one. Refreshes LEARNT entries.
+        """
+        entry = self.get(mac, now)
+        if entry is None:
+            return None
+        if entry.is_locked:
+            self.counters.confirms += 1
+        else:
+            self.counters.refreshes += 1
+        entry.state = EntryState.LEARNT
+        entry.expires = now + self.learnt_timeout
+        return entry
+
+    def refresh_lock(self, mac: MAC, now: float) -> Optional[PathEntry]:
+        """Re-arm the timer of an entry hit by a same-port broadcast."""
+        entry = self.get(mac, now)
+        if entry is None:
+            return None
+        self.counters.refreshes += 1
+        timeout = self.lock_timeout if entry.is_locked else self.learnt_timeout
+        entry.expires = now + timeout
+        entry.race_until = now + self.lock_timeout
+        return entry
+
+    def remove(self, mac: MAC) -> bool:
+        """Erase the entry for *mac* (PathFail handling). True if present."""
+        return self._entries.pop(mac, None) is not None
+
+    # -- broadcast guards --------------------------------------------------
+
+    def guard_port(self, mac: MAC, now: float) -> Optional[Port]:
+        """The accept-port for non-path broadcasts from *mac*, if any."""
+        guard = self._guards.get(mac)
+        if guard is None:
+            return None
+        port, expires = guard
+        if expires <= now:
+            del self._guards[mac]
+            return None
+        return port
+
+    def set_guard(self, mac: MAC, port: Port, now: float) -> None:
+        """Guard broadcasts from *mac* to *port* for guard_timeout."""
+        self._guards[mac] = (port, now + self.guard_timeout)
+
+    # -- maintenance ---------------------------------------------------------
+
+    def flush_port(self, port: Port) -> int:
+        """Erase every entry and guard on *port* (carrier lost)."""
+        stale = [mac for mac, entry in self._entries.items()
+                 if entry.port is port]
+        for mac in stale:
+            del self._entries[mac]
+        self.counters.port_flushes += len(stale)
+        stale_guards = [mac for mac, (gport, _exp) in self._guards.items()
+                        if gport is port]
+        for mac in stale_guards:
+            del self._guards[mac]
+        return len(stale)
+
+    def flush(self) -> None:
+        self._entries.clear()
+        self._guards.clear()
+
+    def expire(self, now: float) -> int:
+        """Reap every expired entry (lazy reaping happens on access too)."""
+        stale = [mac for mac, entry in self._entries.items()
+                 if entry.expires <= now]
+        for mac in stale:
+            del self._entries[mac]
+        self.counters.expiries += len(stale)
+        stale_guards = [mac for mac, (_port, expires) in self._guards.items()
+                        if expires <= now]
+        for mac in stale_guards:
+            del self._guards[mac]
+        return len(stale)
+
+    def entries(self, now: Optional[float] = None) -> List[PathEntry]:
+        """All entries, filtered to live ones when *now* is given."""
+        if now is None:
+            return list(self._entries.values())
+        return [entry for entry in self._entries.values()
+                if entry.expires > now]
+
+    def occupancy(self, now: float) -> Dict[str, int]:
+        """Live entry counts by state (table-size experiments)."""
+        locked = learnt = 0
+        for entry in self._entries.values():
+            if entry.expires <= now:
+                continue
+            if entry.is_locked:
+                locked += 1
+            else:
+                learnt += 1
+        return {"locked": locked, "learnt": learnt,
+                "guards": sum(1 for _p, exp in self._guards.values()
+                              if exp > now)}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, mac: MAC) -> bool:
+        return mac in self._entries

@@ -1,0 +1,14 @@
+"""Reproductions of the paper's experiments plus property checks and
+ablations. See DESIGN.md §3 for the experiment index."""
+
+from repro.experiments import (ablations, broadcast, fig2_latency,
+                               fig3_repair, loadbalance, loopfree,
+                               occupancy, stretch)
+from repro.experiments.common import (ProtocolSpec, WARMUP, build_and_warm,
+                                      default_comparison, spec)
+
+__all__ = [
+    "ablations", "broadcast", "fig2_latency", "fig3_repair", "loadbalance",
+    "loopfree", "occupancy", "stretch",
+    "ProtocolSpec", "WARMUP", "build_and_warm", "default_comparison", "spec",
+]

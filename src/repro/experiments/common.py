@@ -1,0 +1,89 @@
+"""Shared experiment plumbing.
+
+Each experiment module exposes a ``run(...)`` returning a result object
+with a ``table()`` method; benches and examples print that table. The
+helpers here standardise protocol selection, warmup and probe running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import ArpPathConfig
+from repro.netsim.engine import Simulator
+from repro.stp.bridge import StpTimers
+from repro.topology import factories
+from repro.topology.builder import BridgeFactory, Network
+
+#: Warmup budget (simulated seconds) per protocol: long enough for the
+#: control plane to settle before measurement traffic starts.
+WARMUP = {
+    "arppath": 5.0,
+    "learning": 1.0,
+    "spb": 8.0,
+    # 802.1D needs listening+learning (2 x forward delay) plus margin.
+    "stp": 45.0,
+}
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """A named protocol configuration an experiment compares."""
+
+    name: str
+    factory: BridgeFactory
+    warmup: float
+
+    @property
+    def label(self) -> str:
+        return self.name
+
+
+def spec(protocol: str, *, arppath_config: Optional[ArpPathConfig] = None,
+         stp_scale: Optional[float] = None,
+         warmup: Optional[float] = None) -> ProtocolSpec:
+    """Build a :class:`ProtocolSpec` by name with common tweaks."""
+    if protocol == "arppath":
+        factory = (factories.arppath(arppath_config)
+                   if arppath_config is not None else factories.arppath())
+        default_warmup = WARMUP["arppath"]
+        name = "arppath"
+    elif protocol == "stp":
+        if stp_scale is not None:
+            factory = factories.stp(timers=StpTimers().scaled(stp_scale))
+            default_warmup = WARMUP["stp"] * stp_scale
+            name = f"stp(x{stp_scale:g})"
+        else:
+            factory = factories.stp()
+            default_warmup = WARMUP["stp"]
+            name = "stp"
+    elif protocol == "spb":
+        factory = factories.spb()
+        default_warmup = WARMUP["spb"]
+        name = "spb"
+    elif protocol == "learning":
+        factory = factories.learning()
+        default_warmup = WARMUP["learning"]
+        name = "learning"
+    else:
+        raise ValueError(f"unknown protocol: {protocol}")
+    return ProtocolSpec(name=name, factory=factory,
+                        warmup=warmup if warmup is not None else default_warmup)
+
+
+def default_comparison() -> List[ProtocolSpec]:
+    """The demo's comparison set: ARP-Path vs 802.1D STP."""
+    return [spec("arppath"), spec("stp")]
+
+
+def build_and_warm(topology: Callable[..., Network], protocol: ProtocolSpec,
+                   seed: int = 0, trace_hops: bool = False,
+                   keep_trace_records: bool = True,
+                   **topo_kwargs) -> Network:
+    """Instantiate *topology* under *protocol* and run its warmup."""
+    sim = Simulator(seed=seed, trace_hops=trace_hops,
+                    keep_trace_records=keep_trace_records)
+    net = topology(sim, protocol.factory, **topo_kwargs)
+    net.run(protocol.warmup)
+    return net

@@ -1,0 +1,105 @@
+"""EXP-F2: ARP-Path vs STP latency on the NetFPGA demo topology.
+
+Reproduces the demo's main result (paper §3.1, Figure 2): the same
+4-bridge wiring runs once with ARP-Path bridges and once with 802.1D
+STP bridges; ping trains between hosts A and B measure the RTT each
+protocol's path choice yields. ARP-Path races the flooded ARP Request
+over every physical path and keeps the fastest; STP forwards along the
+tree, which follows 802.1D costs (bandwidth only) and happily picks the
+high-latency cross cable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.experiments.common import ProtocolSpec, build_and_warm, spec
+from repro.metrics.paths import PathObserver, min_latency_path
+from repro.metrics.report import format_table
+from repro.metrics.stats import Summary, summarize
+from repro.topology.library import DemoParams, netfpga_demo
+from repro.traffic.ping import PingSeries
+
+
+@dataclass
+class ProtocolLatency:
+    """One protocol's measured latency on the demo wiring."""
+
+    protocol: str
+    rtt: Summary
+    losses: int
+    bridge_path: Optional[Tuple[str, ...]]
+    oracle_latency: float
+    path_latency_one_way: Optional[float]
+
+    @property
+    def path_str(self) -> str:
+        if not self.bridge_path:
+            return "-"
+        return "->".join(self.bridge_path)
+
+
+@dataclass
+class Fig2Result:
+    """All protocols' results plus the latency oracle."""
+
+    rows: List[ProtocolLatency] = field(default_factory=list)
+
+    def table(self) -> str:
+        headers = ["protocol", "path (bridges)", "rtt_mean_us",
+                   "rtt_p95_us", "losses", "one_way_oracle_us"]
+        body = [[row.protocol, row.path_str, row.rtt.mean * 1e6,
+                 row.rtt.p95 * 1e6, row.losses, row.oracle_latency * 1e6]
+                for row in self.rows]
+        return format_table(headers, body,
+                            title="Fig.2 — ARP-Path vs STP latency (A<->B)")
+
+    def speedup(self) -> Optional[float]:
+        """STP mean RTT / ARP-Path mean RTT (the headline factor)."""
+        by_name = {row.protocol.split("(")[0]: row for row in self.rows}
+        if "arppath" not in by_name or "stp" not in by_name:
+            return None
+        return by_name["stp"].rtt.mean / by_name["arppath"].rtt.mean
+
+
+def run_protocol(protocol: ProtocolSpec, params: DemoParams = DemoParams(),
+                 probes: int = 20, seed: int = 0) -> ProtocolLatency:
+    """Measure one protocol on the demo topology."""
+    net = build_and_warm(netfpga_demo, protocol, seed=seed, trace_hops=True,
+                         keep_trace_records=False, params=params)
+    observer = PathObserver(net, "B")
+    series = PingSeries(net.host("A"), net.host("B").ip, count=probes,
+                        interval=0.05)
+    series.start()
+    net.run(probes * 0.05 + 2.0)
+    series.finalize()
+    oracle = min_latency_path(net, "A", "B")
+    bridge_path = observer.last_bridge_path()
+    one_way = None
+    if bridge_path:
+        try:
+            from repro.metrics.paths import path_latency
+            one_way = path_latency(net, ("A",) + bridge_path + ("B",))
+        except Exception:
+            one_way = None
+    rtts = series.rtts
+    if not rtts:
+        raise RuntimeError(
+            f"{protocol.name}: no probe answered — warmup too short?")
+    return ProtocolLatency(protocol=protocol.name, rtt=summarize(rtts),
+                           losses=series.losses, bridge_path=bridge_path,
+                           oracle_latency=oracle.latency,
+                           path_latency_one_way=one_way)
+
+
+def run(params: DemoParams = DemoParams(), probes: int = 20, seed: int = 0,
+        protocols: Optional[List[ProtocolSpec]] = None) -> Fig2Result:
+    """The full Figure 2 comparison (default: arppath, stp, spb)."""
+    chosen = protocols if protocols is not None else [
+        spec("arppath"), spec("stp"), spec("spb")]
+    result = Fig2Result()
+    for protocol in chosen:
+        result.rows.append(run_protocol(protocol, params=params,
+                                        probes=probes, seed=seed))
+    return result

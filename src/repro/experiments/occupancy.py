@@ -1,0 +1,111 @@
+"""EXP-S1 (supporting): bridge state vs network size.
+
+The paper's scalability discussion (§2.2) argues ARP-Path keeps bridges
+simple: state is one table entry per *active* conversation endpoint,
+learnt on demand, against the link-state alternative that must store
+the whole topology plus every advertised host everywhere.
+
+This experiment measures state directly: peak locked-table occupancy
+for ARP-Path vs LSDB size (bridges + advertised hosts) for SPB, as the
+number of hosts grows on a fixed fabric, under (a) all-pairs traffic
+and (b) a sparse traffic matrix — showing ARP-Path state scales with
+*communication*, not with network size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.bridge import ArpPathBridge
+from repro.experiments.common import ProtocolSpec, build_and_warm, spec
+from repro.metrics.report import format_table
+from repro.spb.bridge import SpbBridge
+from repro.topology.library import ring
+from repro.traffic.matrix import TrafficMatrix
+
+
+@dataclass
+class OccupancyRow:
+    protocol: str
+    hosts: int
+    active_pairs: int
+    peak_entries_per_bridge: int
+    mean_entries_per_bridge: float
+
+
+@dataclass
+class OccupancyResult:
+    rows: List[OccupancyRow] = field(default_factory=list)
+
+    def table(self) -> str:
+        headers = ["protocol", "hosts", "talking_pairs",
+                   "peak_state/bridge", "mean_state/bridge"]
+        body = [[r.protocol, r.hosts, r.active_pairs,
+                 r.peak_entries_per_bridge,
+                 f"{r.mean_entries_per_bridge:.1f}"] for r in self.rows]
+        return format_table(
+            headers, body,
+            title="EXP-S1 — per-bridge state vs hosts and traffic")
+
+
+def _bridge_state(bridge) -> int:
+    """Comparable state size: table entries or LSDB entries + hosts."""
+    if isinstance(bridge, ArpPathBridge):
+        return len(bridge.table)
+    if isinstance(bridge, SpbBridge):
+        total = 0
+        for info in bridge.lsdb_summary().values():
+            total += 1 + info["hosts"]
+        return total
+    return 0
+
+
+def run_case(protocol: ProtocolSpec, hosts_per_bridge: int,
+             pairs: Optional[int], n_bridges: int = 4,
+             seed: int = 0) -> OccupancyRow:
+    """One protocol/host-count/traffic-density cell.
+
+    *pairs* = None means all-pairs; otherwise that many random ordered
+    pairs talk.
+    """
+
+    def topo(sim, factory):
+        return ring(sim, factory, n_bridges,
+                    hosts_per_bridge=hosts_per_bridge)
+
+    net = build_and_warm(topo, protocol, seed=seed,
+                         keep_trace_records=False)
+    matrix = TrafficMatrix(net)
+    if pairs is None:
+        flows = matrix.all_pairs(packets=3, interval=2e-3, size=200)
+    else:
+        flows = matrix.random_pairs(pairs, packets=3, interval=2e-3,
+                                    size=200)
+    matrix.start(stagger=1e-3)
+    net.run(1.0)
+
+    sizes = [_bridge_state(b) for b in net.bridges.values()]
+    return OccupancyRow(
+        protocol=protocol.name, hosts=len(net.hosts),
+        active_pairs=len(flows),
+        peak_entries_per_bridge=max(sizes),
+        mean_entries_per_bridge=sum(sizes) / len(sizes))
+
+
+def run(host_counts: List[int] = [1, 2, 4], sparse_pairs: int = 4,
+        seed: int = 0) -> OccupancyResult:
+    """Sweep host density for ARP-Path and SPB, dense and sparse."""
+    result = OccupancyResult()
+    for protocol_name in ("arppath", "spb"):
+        for hosts_per_bridge in host_counts:
+            protocol = spec(protocol_name)
+            result.rows.append(run_case(protocol, hosts_per_bridge,
+                                        pairs=None, seed=seed))
+            total_hosts = hosts_per_bridge * 4
+            if total_hosts * (total_hosts - 1) > sparse_pairs:
+                sparse = run_case(protocol, hosts_per_bridge,
+                                  pairs=sparse_pairs, seed=seed)
+                sparse.protocol += " (sparse)"
+                result.rows.append(sparse)
+    return result

@@ -1,0 +1,6 @@
+"""Failure injection: scheduled link failures and bridge crashes."""
+
+from repro.failures.injector import (ACTION_DOWN, ACTION_UP, FailureInjector,
+                                     FailureRecord)
+
+__all__ = ["ACTION_DOWN", "ACTION_UP", "FailureInjector", "FailureRecord"]

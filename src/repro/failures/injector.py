@@ -1,0 +1,109 @@
+"""Failure injection: the demo's cable pulls, on a schedule.
+
+Paper §3.2 shows "ARP-Path's Path Repair's effectiveness after
+successive link failures". The injector schedules link down/up events
+(and whole-bridge crashes) at exact simulation times and records what it
+did, so experiments can correlate failures with observed disruptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.netsim.link import Link
+from repro.topology.builder import Network
+
+ACTION_DOWN = "down"
+ACTION_UP = "up"
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One executed failure action."""
+
+    time: float
+    link: str
+    action: str
+
+
+class FailureInjector:
+    """Schedules and records link failures on a network."""
+
+    def __init__(self, net: Network):
+        self.net = net
+        self.records: List[FailureRecord] = []
+
+    # -- primitives ---------------------------------------------------------
+
+    def link_down(self, link_name: str, at: float) -> None:
+        """Take the named link down at absolute simulation time *at*."""
+        link = self._link(link_name)
+        self.net.sim.at(at, self._do, link, ACTION_DOWN)
+
+    def link_up(self, link_name: str, at: float) -> None:
+        """Restore the named link at absolute simulation time *at*."""
+        link = self._link(link_name)
+        self.net.sim.at(at, self._do, link, ACTION_UP)
+
+    def flap(self, link_name: str, at: float, down_for: float) -> None:
+        """Down at *at*, back up *down_for* seconds later."""
+        self.link_down(link_name, at)
+        self.link_up(link_name, at + down_for)
+
+    def bridge_crash(self, bridge_name: str, at: float) -> List[str]:
+        """Take down every link of a bridge (a power failure).
+
+        Returns the affected link names.
+        """
+        bridge = self.net.bridge(bridge_name)
+        affected = []
+        for name, link in self.net.links.items():
+            if link.port_a.node is bridge or link.port_b.node is bridge:
+                affected.append(name)
+                self.link_down(name, at)
+        return affected
+
+    # -- scripted sequences ------------------------------------------------
+
+    def successive_failures(self, link_names: Sequence[str], start: float,
+                            spacing: float,
+                            restore_after: Optional[float] = None
+                            ) -> List[float]:
+        """The demo's §3.2 script: kill links one after another.
+
+        Each link goes down ``spacing`` seconds after the previous one;
+        with *restore_after* set, each comes back that many seconds
+        after failing (so the next failure hits a repaired path).
+        Returns the failure times.
+        """
+        times = []
+        for index, name in enumerate(link_names):
+            at = start + index * spacing
+            times.append(at)
+            self.link_down(name, at)
+            if restore_after is not None:
+                self.link_up(name, at + restore_after)
+        return times
+
+    # -- internals -----------------------------------------------------------
+
+    def _link(self, name: str) -> Link:
+        if name not in self.net.links:
+            raise KeyError(f"unknown link: {name}")
+        return self.net.links[name]
+
+    def _do(self, link: Link, action: str) -> None:
+        if action == ACTION_DOWN:
+            link.take_down()
+        else:
+            link.bring_up()
+        self.records.append(FailureRecord(time=self.net.sim.now,
+                                          link=link.name, action=action))
+
+    def downs(self) -> List[FailureRecord]:
+        """Executed down events, in time order."""
+        return [r for r in self.records if r.action == ACTION_DOWN]
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,238 @@
+"""Wire-format serialisation for the frame model.
+
+The simulator exchanges Python objects for speed, but every protocol
+message has a defined byte layout so that a frame can be serialised and
+parsed back — the same property a hardware implementation must have.
+Round-tripping is exercised heavily by the property-based tests.
+
+Payload objects the codec does not understand (e.g. application-level
+video chunks inside UDP) are encoded as opaque zero bytes of their
+declared ``wire_size``; decoding therefore yields ``bytes`` payloads at
+that layer, which is exactly what a wire capture would show.
+
+Extra ethertypes (BPDU, LSP) register their own encoders with
+:func:`register_ethertype`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Dict, Tuple
+
+from repro.frames import arp as arp_mod
+from repro.frames import control as ctl_mod
+from repro.frames import icmp as icmp_mod
+from repro.frames.arp import ArpPacket
+from repro.frames.control import ArpPathControl
+from repro.frames.ethernet import (ETH_FCS_LEN, ETH_HEADER_LEN, ETH_MIN_FRAME,
+                                   ETHERTYPE_ARP, ETHERTYPE_ARPPATH,
+                                   ETHERTYPE_IPV4, EthernetFrame)
+from repro.frames.icmp import IcmpEcho
+from repro.frames.ipv4 import (IPV4_HEADER_LEN, IPv4Address, IPv4Packet,
+                               PROTO_ICMP, PROTO_UDP, payload_size)
+from repro.frames.mac import MAC
+from repro.frames.udp import UDP_HEADER_LEN, UdpDatagram
+
+Encoder = Callable[[Any], bytes]
+Decoder = Callable[[bytes], Any]
+
+_ethertype_codecs: Dict[int, Tuple[Encoder, Decoder]] = {}
+
+
+class CodecError(ValueError):
+    """Raised when bytes cannot be parsed as the claimed protocol."""
+
+
+def register_ethertype(ethertype: int, encoder: Encoder,
+                       decoder: Decoder) -> None:
+    """Register encode/decode functions for an ethertype payload."""
+    _ethertype_codecs[ethertype] = (encoder, decoder)
+
+
+def _opaque_bytes(payload: Any) -> bytes:
+    """Encode an unknown payload object as zero bytes of its wire size."""
+    if isinstance(payload, (bytes, bytearray)):
+        return bytes(payload)
+    return b"\x00" * payload_size(payload)
+
+
+# -- ARP ---------------------------------------------------------------------
+
+_ARP_STRUCT = struct.Struct("!HHBBH6s4s6s4s")
+
+
+def encode_arp(pkt: ArpPacket) -> bytes:
+    return _ARP_STRUCT.pack(arp_mod.HTYPE_ETHERNET, arp_mod.PTYPE_IPV4,
+                            6, 4, pkt.op, pkt.sha.to_bytes(),
+                            pkt.spa.to_bytes(), pkt.tha.to_bytes(),
+                            pkt.tpa.to_bytes())
+
+
+def decode_arp(data: bytes) -> ArpPacket:
+    if len(data) < _ARP_STRUCT.size:
+        raise CodecError(f"ARP packet too short: {len(data)} bytes")
+    (htype, ptype, hlen, plen, op, sha, spa,
+     tha, tpa) = _ARP_STRUCT.unpack_from(data)
+    if htype != arp_mod.HTYPE_ETHERNET or ptype != arp_mod.PTYPE_IPV4:
+        raise CodecError(f"unsupported ARP htype/ptype {htype}/{ptype}")
+    if hlen != 6 or plen != 4:
+        raise CodecError(f"unsupported ARP address lengths {hlen}/{plen}")
+    return ArpPacket(op=op, sha=MAC(sha), spa=IPv4Address(spa),
+                     tha=MAC(tha), tpa=IPv4Address(tpa))
+
+
+# -- ARP-Path control --------------------------------------------------------
+
+_CTL_STRUCT = struct.Struct("!H6s6s6sIH")
+
+
+def encode_control(msg: ArpPathControl) -> bytes:
+    return _CTL_STRUCT.pack(msg.op, msg.origin.to_bytes(),
+                            msg.source.to_bytes(), msg.target.to_bytes(),
+                            msg.seq, msg.ttl)
+
+
+def decode_control(data: bytes) -> ArpPathControl:
+    if len(data) < _CTL_STRUCT.size:
+        raise CodecError(f"control frame too short: {len(data)} bytes")
+    op, origin, source, target, seq, ttl = _CTL_STRUCT.unpack_from(data)
+    try:
+        return ArpPathControl(op=op, origin=MAC(origin), source=MAC(source),
+                              target=MAC(target), seq=seq, ttl=ttl)
+    except ValueError as exc:
+        raise CodecError(str(exc)) from exc
+
+
+# -- ICMP / UDP / IPv4 -------------------------------------------------------
+
+_ICMP_STRUCT = struct.Struct("!BBHHH")
+
+
+def encode_icmp(msg: IcmpEcho) -> bytes:
+    body = msg.payload if isinstance(msg.payload, bytes) else _opaque_bytes(msg.payload)
+    header = _ICMP_STRUCT.pack(msg.icmp_type, 0, 0, msg.ident, msg.seq)
+    checksum = _inet_checksum(header + body)
+    header = _ICMP_STRUCT.pack(msg.icmp_type, 0, checksum, msg.ident, msg.seq)
+    return header + body
+
+
+def decode_icmp(data: bytes) -> IcmpEcho:
+    if len(data) < _ICMP_STRUCT.size:
+        raise CodecError(f"ICMP message too short: {len(data)} bytes")
+    icmp_type, code, _checksum, ident, seq = _ICMP_STRUCT.unpack_from(data)
+    if icmp_type not in (icmp_mod.TYPE_ECHO_REQUEST, icmp_mod.TYPE_ECHO_REPLY):
+        raise CodecError(f"unsupported ICMP type {icmp_type}")
+    if code != 0:
+        raise CodecError(f"unsupported ICMP code {code}")
+    return IcmpEcho(icmp_type=icmp_type, ident=ident, seq=seq,
+                    payload=data[_ICMP_STRUCT.size:])
+
+
+_UDP_STRUCT = struct.Struct("!HHHH")
+
+
+def encode_udp(dgram: UdpDatagram) -> bytes:
+    body = _opaque_bytes(dgram.payload)
+    length = UDP_HEADER_LEN + len(body)
+    return _UDP_STRUCT.pack(dgram.sport, dgram.dport, length, 0) + body
+
+
+def decode_udp(data: bytes) -> UdpDatagram:
+    if len(data) < _UDP_STRUCT.size:
+        raise CodecError(f"UDP datagram too short: {len(data)} bytes")
+    sport, dport, length, _checksum = _UDP_STRUCT.unpack_from(data)
+    if length < UDP_HEADER_LEN or length > len(data):
+        raise CodecError(f"bad UDP length field {length}")
+    return UdpDatagram(sport=sport, dport=dport,
+                       payload=data[UDP_HEADER_LEN:length])
+
+
+def _inet_checksum(data: bytes) -> int:
+    """The Internet checksum (RFC 1071) over *data*."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def encode_ipv4(pkt: IPv4Packet) -> bytes:
+    if pkt.proto == PROTO_UDP and isinstance(pkt.payload, UdpDatagram):
+        body = encode_udp(pkt.payload)
+    elif pkt.proto == PROTO_ICMP and isinstance(pkt.payload, IcmpEcho):
+        body = encode_icmp(pkt.payload)
+    else:
+        body = _opaque_bytes(pkt.payload)
+    total_len = IPV4_HEADER_LEN + len(body)
+    header = struct.pack("!BBHHHBBH4s4s", 0x45, 0, total_len, pkt.ident,
+                         0, pkt.ttl, pkt.proto, 0, pkt.src.to_bytes(),
+                         pkt.dst.to_bytes())
+    checksum = _inet_checksum(header)
+    header = struct.pack("!BBHHHBBH4s4s", 0x45, 0, total_len, pkt.ident,
+                         0, pkt.ttl, pkt.proto, checksum, pkt.src.to_bytes(),
+                         pkt.dst.to_bytes())
+    return header + body
+
+
+def decode_ipv4(data: bytes) -> IPv4Packet:
+    if len(data) < IPV4_HEADER_LEN:
+        raise CodecError(f"IPv4 packet too short: {len(data)} bytes")
+    (ver_ihl, _tos, total_len, ident, _frag, ttl, proto, _checksum,
+     src, dst) = struct.unpack_from("!BBHHHBBH4s4s", data)
+    if ver_ihl != 0x45:
+        raise CodecError(f"unsupported IPv4 version/IHL 0x{ver_ihl:02x}")
+    if total_len < IPV4_HEADER_LEN or total_len > len(data):
+        raise CodecError(f"bad IPv4 total length {total_len}")
+    body = data[IPV4_HEADER_LEN:total_len]
+    payload: Any
+    if proto == PROTO_UDP:
+        payload = decode_udp(body)
+    elif proto == PROTO_ICMP:
+        payload = decode_icmp(body)
+    else:
+        payload = body
+    return IPv4Packet(src=IPv4Address(src), dst=IPv4Address(dst),
+                      proto=proto, payload=payload, ttl=ttl, ident=ident)
+
+
+# -- Ethernet ----------------------------------------------------------------
+
+_ETH_STRUCT = struct.Struct("!6s6sH")
+
+register_ethertype(ETHERTYPE_ARP, encode_arp, decode_arp)
+register_ethertype(ETHERTYPE_ARPPATH, encode_control, decode_control)
+register_ethertype(ETHERTYPE_IPV4, encode_ipv4, decode_ipv4)
+
+
+def encode_frame(frame: EthernetFrame) -> bytes:
+    """Serialise a frame to on-wire bytes (padded, no FCS)."""
+    codec = _ethertype_codecs.get(frame.ethertype)
+    if codec is not None and not isinstance(frame.payload, (bytes, bytearray)):
+        body = codec[0](frame.payload)
+    else:
+        body = _opaque_bytes(frame.payload)
+    raw = _ETH_STRUCT.pack(frame.dst.to_bytes(), frame.src.to_bytes(),
+                           frame.ethertype) + body
+    min_without_fcs = ETH_MIN_FRAME - ETH_FCS_LEN
+    if len(raw) < min_without_fcs:
+        raw += b"\x00" * (min_without_fcs - len(raw))
+    return raw
+
+
+def decode_frame(data: bytes) -> EthernetFrame:
+    """Parse on-wire bytes back into an :class:`EthernetFrame`.
+
+    The payload is decoded with the registered codec for the ethertype
+    when available, otherwise kept as raw bytes.
+    """
+    if len(data) < ETH_HEADER_LEN:
+        raise CodecError(f"Ethernet frame too short: {len(data)} bytes")
+    dst, src, ethertype = _ETH_STRUCT.unpack_from(data)
+    body = data[ETH_HEADER_LEN:]
+    codec = _ethertype_codecs.get(ethertype)
+    payload: Any = body
+    if codec is not None:
+        payload = codec[1](body)
+    return EthernetFrame(dst=MAC(dst), src=MAC(src), ethertype=ethertype,
+                         payload=payload)

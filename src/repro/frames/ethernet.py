@@ -1,0 +1,128 @@
+"""Ethernet II frames.
+
+Frames are the unit of exchange in the simulator. A frame carries a
+typed payload object (ARP packet, IPv4 packet, BPDU, ARP-Path control
+message or raw bytes); :mod:`repro.frames.codec` can serialise the whole
+thing to wire bytes and back.
+
+Frames are copied (:meth:`EthernetFrame.clone`) every time they are
+transmitted so that flooded copies race through the network
+independently — the mechanism ARP-Path's path discovery exploits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.frames.ipv4 import payload_size
+from repro.frames.mac import BROADCAST, MAC
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+#: IEEE local-experimental ethertype carrying ARP-Path control frames.
+ETHERTYPE_ARPPATH = 0x88B5
+#: Pseudo ethertype for BPDUs. Real 802.1D BPDUs ride LLC (DSAP 0x42);
+#: the simulator models them as an ethertype for uniformity.
+ETHERTYPE_BPDU = 0x4242
+#: Pseudo ethertype for the SPB baseline's link-state packets.
+ETHERTYPE_LSP = 0x88B6
+
+#: Destination address of BPDUs (802.1D bridge group address).
+STP_MULTICAST = MAC("01:80:c2:00:00:00")
+
+ETH_HEADER_LEN = 14
+ETH_FCS_LEN = 4
+ETH_MIN_FRAME = 64
+ETH_MTU_PAYLOAD = 1500
+
+_uid_counter = itertools.count(1)
+
+#: A hop record appended to a frame's trace: (node_name, port_index, time).
+Hop = Tuple[str, int, float]
+
+
+@dataclass
+class EthernetFrame:
+    """An Ethernet II frame with a typed payload.
+
+    ``uid``
+        Identifies the *logical* frame; clones made while flooding share
+        the uid, which lets the tracer correlate the copies of one
+        broadcast race.
+    ``trace``
+        Hop records appended at each node when tracing is enabled; each
+        clone carries its own list, so a delivered copy's trace is the
+        exact path it travelled.
+    """
+
+    dst: MAC
+    src: MAC
+    ethertype: int
+    payload: Any = b""
+    uid: int = field(default_factory=lambda: next(_uid_counter))
+    trace: List[Hop] = field(default_factory=list)
+
+    @property
+    def wire_size(self) -> int:
+        """Total on-wire size: header + payload + FCS, zero-padded to 64."""
+        size = ETH_HEADER_LEN + payload_size(self.payload) + ETH_FCS_LEN
+        return max(size, ETH_MIN_FRAME)
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dst.is_broadcast
+
+    @property
+    def is_multicast(self) -> bool:
+        return self.dst.is_multicast
+
+    @property
+    def is_unicast(self) -> bool:
+        return self.dst.is_unicast
+
+    def clone(self) -> "EthernetFrame":
+        """A copy with the same uid and an independent trace list.
+
+        The payload object is shared: payloads are treated as immutable
+        once attached to a frame.
+        """
+        return EthernetFrame(dst=self.dst, src=self.src,
+                             ethertype=self.ethertype, payload=self.payload,
+                             uid=self.uid, trace=list(self.trace))
+
+    def with_payload(self, payload: Any) -> "EthernetFrame":
+        """A copy (same uid/trace) carrying a different payload.
+
+        Used when relaying control frames whose hop budget must be
+        decremented without breaking trace continuity.
+        """
+        return EthernetFrame(dst=self.dst, src=self.src,
+                             ethertype=self.ethertype, payload=payload,
+                             uid=self.uid, trace=list(self.trace))
+
+    def record_hop(self, node_name: str, port_index: int, time: float) -> None:
+        """Append a hop record (used by nodes when tracing is enabled)."""
+        self.trace.append((node_name, port_index, time))
+
+    def path_nodes(self) -> List[str]:
+        """The node names along this copy's recorded trace, in order."""
+        return [hop[0] for hop in self.trace]
+
+    def __str__(self) -> str:
+        kind = {
+            ETHERTYPE_IPV4: "IPv4",
+            ETHERTYPE_ARP: "ARP",
+            ETHERTYPE_ARPPATH: "ARP-Path",
+            ETHERTYPE_BPDU: "BPDU",
+            ETHERTYPE_LSP: "LSP",
+        }.get(self.ethertype, f"0x{self.ethertype:04x}")
+        return (f"[{kind}] {self.src} -> {self.dst} "
+                f"({self.wire_size}B uid={self.uid})")
+
+
+def broadcast_frame(src: MAC, ethertype: int, payload: Any) -> EthernetFrame:
+    """Convenience constructor for a broadcast frame."""
+    return EthernetFrame(dst=BROADCAST, src=src, ethertype=ethertype,
+                         payload=payload)

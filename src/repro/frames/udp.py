@@ -1,0 +1,36 @@
+"""UDP datagrams for the simulated IP stack."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.frames.ipv4 import payload_size
+
+UDP_HEADER_LEN = 8
+
+
+@dataclass
+class UdpDatagram:
+    """A UDP datagram carrying an application payload.
+
+    The payload may be raw ``bytes`` or any object exposing
+    ``wire_size`` (e.g. a :class:`repro.traffic.video.VideoChunk`).
+    """
+
+    sport: int
+    dport: int
+    payload: Any = b""
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        for port in (self.sport, self.dport):
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError(f"UDP port out of range: {port}")
+
+    @property
+    def wire_size(self) -> int:
+        return UDP_HEADER_LEN + payload_size(self.payload)
+
+    def __str__(self) -> str:
+        return f"UDP {self.sport}->{self.dport} ({self.wire_size}B)"

@@ -1,0 +1,11 @@
+"""End-host models: ARP cache, IPv4/UDP/ICMP stack."""
+
+from repro.hosts.arpcache import (ArpCache, ArpEntry, DEFAULT_ARP_TIMEOUT,
+                                  DEFAULT_MAX_RETRIES,
+                                  DEFAULT_RETRY_INTERVAL, PendingResolution)
+from repro.hosts.host import Host, HostCounters
+
+__all__ = [
+    "ArpCache", "ArpEntry", "DEFAULT_ARP_TIMEOUT", "DEFAULT_MAX_RETRIES",
+    "DEFAULT_RETRY_INTERVAL", "PendingResolution", "Host", "HostCounters",
+]

@@ -1,0 +1,67 @@
+"""Plain-text result tables.
+
+The demo's Perl/Tk GUI is replaced by text reports: every experiment
+prints a table via :func:`format_table`, and the benches tee the same
+rows into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def format_cell(value: Any) -> str:
+    """Render one cell: floats get 4 significant digits."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned ASCII table with a separator under the header."""
+    text_rows: List[List[str]] = [[format_cell(cell) for cell in row]
+                                  for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * len(title))
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def us(seconds: float) -> str:
+    """Seconds rendered as microseconds."""
+    return f"{seconds * 1e6:.1f}us"
+
+
+def ms(seconds: float) -> str:
+    """Seconds rendered as milliseconds."""
+    return f"{seconds * 1e3:.3f}ms"
+
+
+def s(seconds: float) -> str:
+    """Seconds rendered with 3 decimals."""
+    return f"{seconds:.3f}s"

@@ -1,0 +1,99 @@
+"""Summary statistics for experiment series.
+
+Pure-Python percentile/summary helpers (numpy-free so the core library
+has no hard scientific dependencies; the benches may still use numpy).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The *q*-th percentile (0-100) with linear interpolation.
+
+    Matches numpy's default ("linear") method.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile out of range: {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high or ordered[low] == ordered[high]:
+        # Second condition avoids interpolation arithmetic, which can
+        # underflow for subnormal values.
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Population standard deviation (0.0 for a single value)."""
+    if not values:
+        raise ValueError("stdev of empty sequence")
+    if len(values) == 1:
+        return 0.0
+    centre = mean(values)
+    return math.sqrt(sum((v - centre) ** 2 for v in values) / len(values))
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """stdev / mean — the load-spread metric of the §2.2 experiment."""
+    centre = mean(values)
+    if centre == 0:
+        return 0.0
+    return stdev(values) / centre
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a series."""
+
+    count: int
+    min: float
+    max: float
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    stdev: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"count": self.count, "min": self.min, "max": self.max,
+                "mean": self.mean, "median": self.median, "p95": self.p95,
+                "p99": self.p99, "stdev": self.stdev}
+
+    def scaled(self, factor: float) -> "Summary":
+        """Every statistic multiplied by *factor* (unit conversion)."""
+        return Summary(count=self.count, min=self.min * factor,
+                       max=self.max * factor, mean=self.mean * factor,
+                       median=self.median * factor, p95=self.p95 * factor,
+                       p99=self.p99 * factor, stdev=self.stdev * factor)
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Build a :class:`Summary`; raises on an empty series."""
+    if not values:
+        raise ValueError("cannot summarise an empty series")
+    return Summary(count=len(values), min=min(values), max=max(values),
+                   mean=mean(values), median=percentile(values, 50),
+                   p95=percentile(values, 95), p99=percentile(values, 99),
+                   stdev=stdev(values))
+
+
+def maybe_summarize(values: Sequence[float]) -> Optional[Summary]:
+    """Like :func:`summarize` but returns None for an empty series."""
+    return summarize(values) if values else None

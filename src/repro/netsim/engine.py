@@ -1,0 +1,214 @@
+"""The discrete-event simulation engine.
+
+A deterministic heap-based scheduler: events fire in (time, priority,
+sequence) order, so two runs with the same seed replay identically —
+which the ARP-Path tests rely on, because path selection is literally a
+race between flooded frame copies.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Any, Callable, List, Optional
+
+from repro.netsim.errors import SchedulingError
+from repro.netsim.tracer import Tracer
+
+#: Priority for ordinary data-plane events.
+PRIORITY_NORMAL = 0
+#: Priority for control-plane housekeeping that must run after the data
+#: plane at the same instant (e.g. table expiry sweeps).
+PRIORITY_LATE = 10
+#: Priority for events that must precede the data plane at the same
+#: instant (e.g. carrier-loss notifications).
+PRIORITY_EARLY = -10
+
+
+class Event:
+    """A scheduled callback. Returned by :meth:`Simulator.schedule`."""
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return ((self.time, self.priority, self.seq)
+                < (other.time, other.priority, other.seq))
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.9f} prio={self.priority} {state}>"
+
+
+class Periodic:
+    """A repeating timer created by :meth:`Simulator.schedule_periodic`."""
+
+    __slots__ = ("_sim", "_interval", "_callback", "_args", "_event",
+                 "_stopped", "_jitter")
+
+    def __init__(self, sim: "Simulator", interval: float,
+                 callback: Callable[..., Any], args: tuple, jitter: float):
+        if interval <= 0:
+            raise SchedulingError(f"periodic interval must be > 0: {interval}")
+        self._sim = sim
+        self._interval = interval
+        self._callback = callback
+        self._args = args
+        self._jitter = jitter
+        self._stopped = False
+        self._event = sim.schedule(self._next_delay(), self._fire)
+
+    def _next_delay(self) -> float:
+        if self._jitter:
+            return self._interval + self._sim.rng.uniform(0, self._jitter)
+        return self._interval
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback(*self._args)
+        if not self._stopped:
+            self._event = self._sim.schedule(self._next_delay(), self._fire)
+
+    def stop(self) -> None:
+        """Stop the timer (idempotent)."""
+        self._stopped = True
+        self._event.cancel()
+
+    @property
+    def interval(self) -> float:
+        return self._interval
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the simulator-owned :class:`random.Random`; all stochastic
+        behaviour (jitter, workloads) must draw from :attr:`rng` so runs
+        are reproducible.
+    trace_hops:
+        When true, frames accumulate per-hop trace records as they
+        traverse nodes (used by path-measurement experiments).
+    """
+
+    def __init__(self, seed: int = 0, trace_hops: bool = False,
+                 keep_trace_records: bool = True):
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self.rng = random.Random(seed)
+        self.trace_hops = trace_hops
+        self.tracer = Tracer(keep_records=keep_trace_records)
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any,
+                 priority: int = PRIORITY_NORMAL) -> Event:
+        """Schedule *callback(\\*args)* to run *delay* seconds from now."""
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule in the past: {delay}")
+        event = Event(self._now + delay, priority, next(self._seq),
+                      callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def at(self, time: float, callback: Callable[..., Any], *args: Any,
+           priority: int = PRIORITY_NORMAL) -> Event:
+        """Schedule *callback* at absolute simulation *time*."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at {time} (now is {self._now})")
+        event = Event(time, priority, next(self._seq), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any,
+                  priority: int = PRIORITY_NORMAL) -> Event:
+        """Schedule *callback* at the current instant (after this event)."""
+        return self.schedule(0.0, callback, *args, priority=priority)
+
+    def schedule_periodic(self, interval: float, callback: Callable[..., Any],
+                          *args: Any, jitter: float = 0.0) -> Periodic:
+        """Run *callback* every *interval* seconds until stopped.
+
+        A positive *jitter* adds a uniform random extra delay in
+        ``[0, jitter)`` before each firing (drawn from :attr:`rng`).
+        """
+        return Periodic(self, interval, callback, args, jitter)
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the next pending event. Returns False when none remain."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, *until* is reached, or
+        *max_events* have fired.
+
+        When *until* is given the clock is advanced to exactly *until*
+        even if the queue drained earlier, so periodic processes see a
+        consistent end time.
+        """
+        fired = 0
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and event.time > until:
+                break
+            if max_events is not None and fired >= max_events:
+                return
+            heapq.heappop(self._queue)
+            self._now = event.time
+            self.events_processed += 1
+            event.callback(*event.args)
+            fired += 1
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_for(self, duration: float) -> None:
+        """Run for *duration* seconds of simulated time from now."""
+        self.run(until=self._now + duration)
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued, non-cancelled events (O(n) — diagnostics)."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def __repr__(self) -> str:
+        return (f"<Simulator t={self._now:.6f} queued={len(self._queue)} "
+                f"processed={self.events_processed}>")

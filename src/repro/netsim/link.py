@@ -1,0 +1,188 @@
+"""Point-to-point Ethernet links.
+
+A link joins exactly two ports and models, per direction:
+
+* **serialisation** — the transmitter is busy for ``bits / bandwidth``
+  seconds per frame; further frames wait in a bounded FIFO queue and
+  overflow is tail-dropped,
+* **propagation** — delivery is delayed by the configured latency,
+* **carrier** — links can be taken down and brought back up; both
+  endpoints get a carrier notification, queued and in-flight frames on a
+  downed link are lost (exactly what a cable pull does to the NetFPGA).
+
+Heterogeneous per-link latency is what makes the ARP race meaningful:
+the first ARP copy to arrive travelled the lowest-latency path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.frames.ethernet import EthernetFrame
+from repro.netsim import tracer as trc
+from repro.netsim.engine import PRIORITY_EARLY, Event, Simulator
+from repro.netsim.errors import TopologyError
+from repro.netsim.node import Port
+
+#: 1 Gb/s — the NetFPGA's line rate.
+DEFAULT_BANDWIDTH = 1_000_000_000.0
+#: 10 µs default one-way propagation delay.
+DEFAULT_LATENCY = 10e-6
+DEFAULT_QUEUE_CAPACITY = 64
+
+
+class _Direction:
+    """Transmitter state for one direction of the link."""
+
+    __slots__ = ("queue", "busy", "pending", "tx_event")
+
+    def __init__(self, capacity: int):
+        self.queue: Deque[EthernetFrame] = deque(maxlen=None)
+        self.busy = False
+        #: Delivery events in flight (cancelled if the link goes down).
+        self.pending: List[Event] = []
+        self.tx_event: Optional[Event] = None
+
+
+class Link:
+    """A bidirectional point-to-point link between two ports."""
+
+    def __init__(self, sim: Simulator, port_a: Port, port_b: Port,
+                 latency: float = DEFAULT_LATENCY,
+                 bandwidth: Optional[float] = DEFAULT_BANDWIDTH,
+                 queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+                 name: Optional[str] = None):
+        if port_a is port_b:
+            raise TopologyError("cannot connect a port to itself")
+        if port_a.link is not None or port_b.link is not None:
+            raise TopologyError(
+                f"port already attached: {port_a.name if port_a.link else port_b.name}")
+        if latency < 0:
+            raise TopologyError(f"negative latency: {latency}")
+        if bandwidth is not None and bandwidth <= 0:
+            raise TopologyError(f"bandwidth must be positive: {bandwidth}")
+        if queue_capacity < 0:
+            raise TopologyError(f"negative queue capacity: {queue_capacity}")
+
+        self.sim = sim
+        self.port_a = port_a
+        self.port_b = port_b
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.queue_capacity = queue_capacity
+        self.up = True
+        self.name = name or f"{port_a.name}<->{port_b.name}"
+        self._dirs = {port_a: _Direction(queue_capacity),
+                      port_b: _Direction(queue_capacity)}
+        port_a.link = self
+        port_b.link = self
+
+    # -- wiring --------------------------------------------------------------
+
+    def other(self, port: Port) -> Port:
+        """The opposite endpoint of *port*."""
+        if port is self.port_a:
+            return self.port_b
+        if port is self.port_b:
+            return self.port_a
+        raise TopologyError(f"{port.name} is not an endpoint of {self.name}")
+
+    # -- data plane ----------------------------------------------------------
+
+    def serialization_delay(self, frame: EthernetFrame) -> float:
+        """Seconds the transmitter is busy sending *frame*."""
+        if self.bandwidth is None:
+            return 0.0
+        return frame.wire_size * 8 / self.bandwidth
+
+    def transmit(self, from_port: Port, frame: EthernetFrame) -> None:
+        """Queue *frame* for transmission from *from_port*."""
+        if not self.up:
+            self._trace(trc.DROP_LINK_DOWN, frame)
+            return
+        direction = self._dirs[from_port]
+        if direction.busy:
+            if len(direction.queue) >= self.queue_capacity:
+                self._trace(trc.DROP_QUEUE, frame)
+                return
+            direction.queue.append(frame)
+            return
+        self._start_tx(from_port, direction, frame)
+
+    def _start_tx(self, from_port: Port, direction: _Direction,
+                  frame: EthernetFrame) -> None:
+        direction.busy = True
+        self._trace(trc.SENT, frame)
+        ser = self.serialization_delay(frame)
+        direction.tx_event = self.sim.schedule(
+            ser, self._tx_done, from_port, direction)
+        event = self.sim.schedule(ser + self.latency, self._deliver,
+                                  from_port, direction, frame)
+        direction.pending.append(event)
+
+    def _tx_done(self, from_port: Port, direction: _Direction) -> None:
+        direction.busy = False
+        direction.tx_event = None
+        if direction.queue and self.up:
+            self._start_tx(from_port, direction, direction.queue.popleft())
+
+    def _deliver(self, from_port: Port, direction: _Direction,
+                 frame: EthernetFrame) -> None:
+        self._prune_pending(direction)
+        if not self.up:
+            self._trace(trc.DROP_LINK_DOWN, frame)
+            return
+        self._trace(trc.DELIVERED, frame)
+        self.other(from_port).node.deliver(self.other(from_port), frame)
+
+    def _prune_pending(self, direction: _Direction) -> None:
+        now = self.sim.now
+        direction.pending = [ev for ev in direction.pending
+                             if not ev.cancelled and ev.time > now]
+
+    # -- carrier control -----------------------------------------------------
+
+    def take_down(self) -> None:
+        """Lose carrier: drop queued and in-flight frames, notify nodes."""
+        if not self.up:
+            return
+        self.up = False
+        for direction in self._dirs.values():
+            for frame in direction.queue:
+                self._trace(trc.DROP_LINK_DOWN, frame)
+            direction.queue.clear()
+            for event in direction.pending:
+                if not event.cancelled and event.time >= self.sim.now:
+                    event.cancel()
+                    # args = (from_port, direction, frame) of _deliver.
+                    self._trace(trc.DROP_LINK_DOWN, event.args[2])
+            direction.pending.clear()
+            if direction.tx_event is not None:
+                direction.tx_event.cancel()
+                direction.tx_event = None
+            direction.busy = False
+        self._notify_carrier(False)
+
+    def bring_up(self) -> None:
+        """Regain carrier and notify both endpoints."""
+        if self.up:
+            return
+        self.up = True
+        self._notify_carrier(True)
+
+    def _notify_carrier(self, up: bool) -> None:
+        for port in (self.port_a, self.port_b):
+            self.sim.call_soon(port.node.link_state_changed, port, up,
+                               priority=PRIORITY_EARLY)
+
+    # -- tracing ---------------------------------------------------------
+
+    def _trace(self, kind: str, frame: EthernetFrame) -> None:
+        self.sim.tracer.record(kind, self.sim.now, self.name, frame.uid,
+                               frame.ethertype, frame.wire_size,
+                               str(frame.src), str(frame.dst))
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "down"
+        return f"<Link {self.name} {state} lat={self.latency * 1e6:.1f}us>"

@@ -1,0 +1,135 @@
+"""Nodes and ports.
+
+A :class:`Node` is anything with Ethernet ports: a bridge or an end
+host. Ports attach to :class:`repro.netsim.link.Link` objects; a node
+receives frames through :meth:`Node.deliver` and reacts to carrier
+changes through :meth:`Node.link_state_changed`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.frames.ethernet import EthernetFrame
+from repro.netsim.engine import Simulator
+from repro.netsim.errors import TopologyError
+
+if TYPE_CHECKING:
+    from repro.netsim.link import Link
+
+
+class Port:
+    """One Ethernet port of a node.
+
+    Ports are created through :meth:`Node.add_port` and wired to links
+    by the link constructor; sending through an unattached or downed
+    port silently discards the frame, like a NIC with no carrier.
+    """
+
+    __slots__ = ("node", "index", "link")
+
+    def __init__(self, node: "Node", index: int):
+        self.node = node
+        self.index = index
+        self.link: Optional["Link"] = None
+
+    @property
+    def name(self) -> str:
+        return f"{self.node.name}.p{self.index}"
+
+    @property
+    def is_attached(self) -> bool:
+        return self.link is not None
+
+    @property
+    def is_up(self) -> bool:
+        """True when attached to a link that currently has carrier."""
+        return self.link is not None and self.link.up
+
+    @property
+    def peer(self) -> Optional["Port"]:
+        """The port at the other end of the attached link, if any."""
+        if self.link is None:
+            return None
+        return self.link.other(self)
+
+    def send(self, frame: EthernetFrame) -> None:
+        """Transmit a frame out of this port.
+
+        The frame is cloned so the caller may reuse or re-send the same
+        object out of several ports (flooding) — each copy then races
+        through the network independently.
+        """
+        if self.link is None or not self.link.up:
+            return
+        self.link.transmit(self, frame.clone())
+
+    def __repr__(self) -> str:
+        return f"<Port {self.name}>"
+
+
+class Node:
+    """Base class for bridges and hosts."""
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.ports: List[Port] = []
+        self.started = False
+
+    def add_port(self) -> Port:
+        """Create and return a new (unattached) port."""
+        port = Port(self, len(self.ports))
+        self.ports.append(port)
+        return port
+
+    def add_ports(self, count: int) -> List[Port]:
+        """Create *count* ports at once."""
+        return [self.add_port() for _ in range(count)]
+
+    def free_port(self) -> Port:
+        """An existing unattached port, or a freshly created one."""
+        for port in self.ports:
+            if not port.is_attached:
+                return port
+        return self.add_port()
+
+    @property
+    def attached_ports(self) -> List[Port]:
+        return [port for port in self.ports if port.is_attached]
+
+    def start(self) -> None:
+        """Hook called once after the topology is wired.
+
+        Subclasses start periodic processes (hellos, BPDUs) here.
+        """
+        self.started = True
+
+    def deliver(self, port: Port, frame: EthernetFrame) -> None:
+        """Entry point for frames arriving at *port* (called by links)."""
+        if self.sim.trace_hops:
+            frame.record_hop(self.name, port.index, self.sim.now)
+        self.handle_frame(port, frame)
+
+    def handle_frame(self, port: Port, frame: EthernetFrame) -> None:
+        """Process a received frame. Subclasses must implement."""
+        raise NotImplementedError
+
+    def link_state_changed(self, port: Port, up: bool) -> None:
+        """Hook invoked when the link at *port* gains or loses carrier."""
+
+    def flood(self, frame: EthernetFrame, exclude: Optional[Port] = None) -> int:
+        """Send *frame* out of every attached port except *exclude*.
+
+        Returns the number of ports the frame was sent on.
+        """
+        count = 0
+        for port in self.ports:
+            if port is exclude or not port.is_attached:
+                continue
+            port.send(frame)
+            count += 1
+        return count
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} ports={len(self.ports)}>"

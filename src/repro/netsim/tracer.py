@@ -1,0 +1,113 @@
+"""Frame-level tracing and counting.
+
+A :class:`Tracer` observes every link-level transmit, delivery and drop.
+Experiments use it to count broadcast overhead, measure path latencies
+and assert loop-freedom (a looping frame produces unbounded deliveries,
+which the tests bound).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+SENT = "sent"
+DELIVERED = "delivered"
+DROP_QUEUE = "drop_queue"
+DROP_LINK_DOWN = "drop_link_down"
+DROP_TTL = "drop_ttl"
+
+KINDS = (SENT, DELIVERED, DROP_QUEUE, DROP_LINK_DOWN, DROP_TTL)
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One link-level event."""
+
+    kind: str
+    time: float
+    link: str
+    frame_uid: int
+    ethertype: int
+    size: int
+    src: str
+    dst: str
+
+
+class Tracer:
+    """Collects link-level events and aggregates counters.
+
+    Record retention is optional (``keep_records=False`` keeps only the
+    counters) so long benchmark runs stay memory-bounded.
+    """
+
+    def __init__(self, keep_records: bool = True):
+        self.keep_records = keep_records
+        self.records: List[TraceRecord] = []
+        self.counts: Counter = Counter()
+        self.by_ethertype: Dict[str, Counter] = defaultdict(Counter)
+        self._listeners: List[Callable[[TraceRecord], None]] = []
+
+    def record(self, kind: str, time: float, link: str, frame_uid: int,
+               ethertype: int, size: int, src: str, dst: str) -> None:
+        """Record one link-level event (called by links)."""
+        self.counts[kind] += 1
+        self.by_ethertype[kind][ethertype] += 1
+        if self.keep_records or self._listeners:
+            rec = TraceRecord(kind=kind, time=time, link=link,
+                              frame_uid=frame_uid, ethertype=ethertype,
+                              size=size, src=src, dst=dst)
+            if self.keep_records:
+                self.records.append(rec)
+            for listener in self._listeners:
+                listener(rec)
+
+    def add_listener(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Invoke *listener* for every future record."""
+        self._listeners.append(listener)
+
+    # -- queries -------------------------------------------------------------
+
+    def count(self, kind: str, ethertype: Optional[int] = None) -> int:
+        """Number of events of *kind*, optionally for one ethertype."""
+        if ethertype is None:
+            return self.counts[kind]
+        return self.by_ethertype[kind][ethertype]
+
+    @property
+    def frames_sent(self) -> int:
+        return self.counts[SENT]
+
+    @property
+    def frames_delivered(self) -> int:
+        return self.counts[DELIVERED]
+
+    @property
+    def frames_dropped(self) -> int:
+        return (self.counts[DROP_QUEUE] + self.counts[DROP_LINK_DOWN]
+                + self.counts[DROP_TTL])
+
+    def deliveries_for(self, frame_uid: int) -> List[TraceRecord]:
+        """All delivery records for one logical frame (needs records)."""
+        return [rec for rec in self.records
+                if rec.kind == DELIVERED and rec.frame_uid == frame_uid]
+
+    def link_load_bytes(self) -> Dict[str, int]:
+        """Total bytes carried per link (needs records)."""
+        load: Dict[str, int] = defaultdict(int)
+        for rec in self.records:
+            if rec.kind == SENT:
+                load[rec.link] += rec.size
+        return dict(load)
+
+    def reset(self) -> None:
+        """Clear all records and counters."""
+        self.records.clear()
+        self.counts.clear()
+        self.by_ethertype.clear()
+
+    def __repr__(self) -> str:
+        return (f"<Tracer sent={self.frames_sent} "
+                f"delivered={self.frames_delivered} "
+                f"dropped={self.frames_dropped}>")

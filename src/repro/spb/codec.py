@@ -1,0 +1,79 @@
+"""Wire format for the SPB baseline's control messages.
+
+A compact TLV-free layout (this is a research baseline, not IS-IS):
+one type byte distinguishes hellos from LSPs; LSPs carry counted lists
+of adjacencies and hosts. Registered with the frame codec on import so
+pcap captures of SPB runs decode.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.frames import codec as frame_codec
+from repro.frames.codec import CodecError
+from repro.frames.ethernet import ETHERTYPE_LSP
+from repro.frames.mac import MAC
+from repro.spb.lsp import Adjacency, LinkStatePacket, SpbHello
+
+TYPE_HELLO = 1
+TYPE_LSP = 2
+
+_HELLO = struct.Struct("!B6sI")
+_LSP_HEAD = struct.Struct("!B6sIHH")
+_ADJ = struct.Struct("!6sf")
+
+
+def encode_spb(message) -> bytes:
+    """Serialise an SpbHello or LinkStatePacket."""
+    if isinstance(message, SpbHello):
+        return _HELLO.pack(TYPE_HELLO, message.origin.to_bytes(),
+                           message.seq & 0xFFFFFFFF)
+    if not isinstance(message, LinkStatePacket):
+        raise CodecError(f"not an SPB message: {type(message).__name__}")
+    parts = [_LSP_HEAD.pack(TYPE_LSP, message.origin.to_bytes(),
+                            message.seq & 0xFFFFFFFF,
+                            len(message.adjacencies), len(message.hosts))]
+    for adjacency in message.adjacencies:
+        parts.append(_ADJ.pack(adjacency.neighbor.to_bytes(),
+                               adjacency.cost))
+    for host in message.hosts:
+        parts.append(host.to_bytes())
+    return b"".join(parts)
+
+
+def decode_spb(data: bytes):
+    """Parse SPB control bytes back into the message object."""
+    if not data:
+        raise CodecError("empty SPB message")
+    kind = data[0]
+    if kind == TYPE_HELLO:
+        if len(data) < _HELLO.size:
+            raise CodecError(f"SPB hello too short: {len(data)} bytes")
+        _kind, origin, seq = _HELLO.unpack_from(data)
+        return SpbHello(origin=MAC(origin), seq=seq)
+    if kind != TYPE_LSP:
+        raise CodecError(f"unknown SPB message type {kind}")
+    if len(data) < _LSP_HEAD.size:
+        raise CodecError(f"LSP too short: {len(data)} bytes")
+    _kind, origin, seq, n_adj, n_hosts = _LSP_HEAD.unpack_from(data)
+    offset = _LSP_HEAD.size
+    needed = offset + n_adj * _ADJ.size + n_hosts * 6
+    if len(data) < needed:
+        raise CodecError(f"LSP truncated: {len(data)} < {needed} bytes")
+    adjacencies = []
+    for _ in range(n_adj):
+        neighbor, cost = _ADJ.unpack_from(data, offset)
+        offset += _ADJ.size
+        adjacencies.append(Adjacency(neighbor=MAC(neighbor),
+                                     cost=round(cost, 6)))
+    hosts = []
+    for _ in range(n_hosts):
+        hosts.append(MAC(data[offset:offset + 6]))
+        offset += 6
+    return LinkStatePacket(origin=MAC(origin), seq=seq,
+                           adjacencies=tuple(adjacencies),
+                           hosts=tuple(hosts))
+
+
+frame_codec.register_ethertype(ETHERTYPE_LSP, encode_spb, decode_spb)

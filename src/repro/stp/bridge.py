@@ -1,0 +1,558 @@
+"""An 802.1D spanning tree bridge (the demo's baseline).
+
+This is the protocol the paper compares ARP-Path against: Linux
+``bridge_utils`` bridges running classic STP. The implementation follows
+the 802.1D conceptual model:
+
+* distributed root election by priority-vector comparison,
+* one root port per non-root bridge, one designated port per LAN,
+  everything else blocked — redundant links carry no traffic,
+* timer-driven state transitions (listening → learning → forwarding,
+  each taking ``forward_delay``), message-age expiry for failure
+  detection, and topology change notification with fast FDB aging.
+
+The consequences the demo measures fall out naturally: traffic follows
+the tree (not the lowest-latency path), and recovering from a failure
+costs max-age expiry plus two forward delays (tens of seconds at IEEE
+default timers).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.frames.ethernet import (ETHERTYPE_BPDU, EthernetFrame,
+                                   STP_MULTICAST)
+from repro.frames.mac import MAC
+from repro.netsim.engine import Simulator
+from repro.netsim.node import Port
+from repro.stp.bpdu import (BridgeId, ConfigBpdu, DEFAULT_BRIDGE_PRIORITY,
+                            DEFAULT_PORT_PRIORITY, PATH_COST_1G, PortId,
+                            PriorityVector, TcnBpdu)
+from repro.switching.base import Bridge
+from repro.switching.table import ForwardingTable
+
+#: Standard increment added to message age at each hop.
+MESSAGE_AGE_INCREMENT = 1.0
+
+
+@dataclass(frozen=True)
+class StpTimers:
+    """The three 802.1D timers (IEEE defaults).
+
+    ``scaled`` produces proportionally faster timers — used by
+    experiments that want STP's *behaviour* without simulating minutes
+    of wall-clock convergence, and reported alongside the defaults.
+    """
+
+    hello_time: float = 2.0
+    max_age: float = 20.0
+    forward_delay: float = 15.0
+    #: Added to message age per hop; must scale with max_age or the
+    #: network diameter limit (max_age / increment hops) shrinks.
+    message_age_increment: float = MESSAGE_AGE_INCREMENT
+
+    def __post_init__(self):
+        if min(self.hello_time, self.max_age, self.forward_delay,
+               self.message_age_increment) <= 0:
+            raise ValueError("STP timers must be positive")
+
+    @property
+    def diameter_limit(self) -> int:
+        """How many hops from the root BPDUs can travel before aging out."""
+        return int(self.max_age / self.message_age_increment)
+
+    def scaled(self, factor: float) -> "StpTimers":
+        """All timers (including the age increment) multiplied by *factor*."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return StpTimers(
+            hello_time=self.hello_time * factor,
+            max_age=self.max_age * factor,
+            forward_delay=self.forward_delay * factor,
+            message_age_increment=self.message_age_increment * factor)
+
+
+class PortRole(enum.Enum):
+    DISABLED = "disabled"
+    ROOT = "root"
+    DESIGNATED = "designated"
+    ALTERNATE = "alternate"
+
+
+class PortState(enum.Enum):
+    DISABLED = "disabled"
+    BLOCKING = "blocking"
+    LISTENING = "listening"
+    LEARNING = "learning"
+    FORWARDING = "forwarding"
+
+
+@dataclass
+class StoredInfo:
+    """The best config BPDU received on a port, with its age deadline."""
+
+    bpdu: ConfigBpdu
+    received_at: float
+    age_event: object = None
+
+    def cancel(self) -> None:
+        if self.age_event is not None:
+            self.age_event.cancel()
+            self.age_event = None
+
+
+@dataclass
+class StpCounters:
+    bpdus_sent: int = 0
+    bpdus_received: int = 0
+    tcns_sent: int = 0
+    tcns_received: int = 0
+    topology_changes: int = 0
+    root_changes: int = 0
+    discards_not_forwarding: int = 0
+
+
+class StpPortInfo:
+    """Per-port spanning tree state."""
+
+    __slots__ = ("port", "port_id", "path_cost", "role", "state",
+                 "stored", "transition_event", "send_tca")
+
+    def __init__(self, port: Port, path_cost: int):
+        self.port = port
+        self.port_id = PortId(DEFAULT_PORT_PRIORITY, port.index)
+        self.path_cost = path_cost
+        self.role = PortRole.DISABLED
+        self.state = PortState.DISABLED
+        self.stored: Optional[StoredInfo] = None
+        self.transition_event = None
+        self.send_tca = False
+
+    def clear_stored(self) -> None:
+        if self.stored is not None:
+            self.stored.cancel()
+            self.stored = None
+
+    def cancel_transition(self) -> None:
+        if self.transition_event is not None:
+            self.transition_event.cancel()
+            self.transition_event = None
+
+    @property
+    def can_learn(self) -> bool:
+        return self.state in (PortState.LEARNING, PortState.FORWARDING)
+
+    @property
+    def can_forward(self) -> bool:
+        return self.state is PortState.FORWARDING
+
+
+class StpBridge(Bridge):
+    """A transparent learning bridge running 802.1D spanning tree."""
+
+    def __init__(self, sim: Simulator, name: str, mac: MAC,
+                 priority: int = DEFAULT_BRIDGE_PRIORITY,
+                 timers: StpTimers = StpTimers(),
+                 path_cost: int = PATH_COST_1G,
+                 fdb_aging: float = 300.0):
+        super().__init__(sim, name, mac)
+        self.bid = BridgeId(priority, mac)
+        self.timers = timers
+        self.default_path_cost = path_cost
+        self.fdb = ForwardingTable(aging_time=fdb_aging)
+        self.stp_counters = StpCounters()
+        self._port_info: Dict[int, StpPortInfo] = {}
+        self.root_id = self.bid
+        self.root_cost = 0
+        self.root_port: Optional[StpPortInfo] = None
+        self._hello_timer = None
+        self._tc_while_event = None
+        self._tc_active = False
+        self._tcn_awaiting_ack = False
+
+    # -- port bookkeeping --------------------------------------------------
+
+    def info_for(self, port: Port) -> StpPortInfo:
+        """The STP state for *port* (created on first access)."""
+        info = self._port_info.get(port.index)
+        if info is None:
+            info = StpPortInfo(port, self.default_path_cost)
+            self._port_info[port.index] = info
+        return info
+
+    @property
+    def is_root(self) -> bool:
+        return self.root_id == self.bid
+
+    def ports_in(self, *roles: PortRole):
+        return [info for info in self._port_info.values()
+                if info.role in roles]
+
+    def port_role(self, port: Port) -> PortRole:
+        return self.info_for(port).role
+
+    def port_state(self, port: Port) -> PortState:
+        return self.info_for(port).state
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        super().start()
+        for port in self.ports:
+            info = self.info_for(port)
+            if port.is_up:
+                info.state = PortState.BLOCKING
+        self._recompute()
+        self._transmit_configs()
+        self._hello_timer = self.sim.schedule_periodic(
+            self.timers.hello_time, self._on_hello_tick)
+
+    def stop(self) -> None:
+        """Stop periodic processes."""
+        if self._hello_timer is not None:
+            self._hello_timer.stop()
+
+    def link_state_changed(self, port: Port, up: bool) -> None:
+        info = self.info_for(port)
+        if up:
+            info.state = PortState.BLOCKING
+            self._recompute()
+            return
+        was_forwarding = info.can_forward
+        info.role = PortRole.DISABLED
+        info.state = PortState.DISABLED
+        info.clear_stored()
+        info.cancel_transition()
+        self.fdb.flush_port(port)
+        self._recompute()
+        if was_forwarding:
+            self._detect_topology_change()
+
+    # -- data plane ----------------------------------------------------------
+
+    def handle_frame(self, port: Port, frame: EthernetFrame) -> None:
+        self.counters.received += 1
+        if frame.ethertype == ETHERTYPE_BPDU:
+            self._handle_bpdu(port, frame)
+            return
+        info = self.info_for(port)
+        if not info.can_learn:
+            self.stp_counters.discards_not_forwarding += 1
+            self.filter_frame()
+            return
+        now = self.sim.now
+        self.fdb.learn(frame.src, port, now)
+        if not info.can_forward:
+            self.stp_counters.discards_not_forwarding += 1
+            self.filter_frame()
+            return
+        if frame.dst.is_multicast:
+            self._flood_forwarding(frame, exclude=port)
+            return
+        out_port = self.fdb.lookup(frame.dst, now)
+        if out_port is None:
+            self._flood_forwarding(frame, exclude=port)
+        elif out_port is port:
+            self.filter_frame()
+        elif self.info_for(out_port).can_forward:
+            self.forward(out_port, frame)
+        else:
+            self.filter_frame()
+
+    def _flood_forwarding(self, frame: EthernetFrame,
+                          exclude: Optional[Port]) -> None:
+        copies = 0
+        for port in self.ports:
+            if port is exclude or not port.is_attached:
+                continue
+            if not self.info_for(port).can_forward:
+                continue
+            port.send(frame)
+            copies += 1
+        self.counters.flooded_frames += 1
+        self.counters.flooded_copies += copies
+
+    # -- BPDU reception ------------------------------------------------------
+
+    def _handle_bpdu(self, port: Port, frame: EthernetFrame) -> None:
+        payload = frame.payload
+        info = self.info_for(port)
+        if info.state is PortState.DISABLED:
+            return
+        if isinstance(payload, TcnBpdu):
+            self._handle_tcn(info)
+            return
+        if not isinstance(payload, ConfigBpdu):
+            return
+        self.stp_counters.bpdus_received += 1
+        self._handle_config(info, payload)
+
+    def _handle_config(self, info: StpPortInfo, bpdu: ConfigBpdu) -> None:
+        if bpdu.message_age >= bpdu.max_age:
+            return
+        if info.role is PortRole.DESIGNATED \
+                and self._inferior_to_ours(info, bpdu):
+            # Worse information on a LAN we are designated for: assert
+            # our configuration immediately; never store the claim.
+            self._tx_config(info)
+            return
+        if self._supersedes(info, bpdu):
+            self._store(info, bpdu)
+            was_root = self.is_root
+            old_root = self.root_id
+            self._recompute()
+            if self.root_id != old_root:
+                self.stp_counters.root_changes += 1
+            if was_root and not self.is_root and self._tcn_awaiting_ack:
+                # We stopped being root; TCN duty moves to the root port.
+                pass
+            if info is self.root_port:
+                self._process_root_port_flags(bpdu)
+                self._transmit_configs()
+        elif info.role is PortRole.DESIGNATED:
+            # Inferior information on our LAN: assert ours.
+            self._tx_config(info)
+
+    def _inferior_to_ours(self, info: StpPortInfo,
+                          bpdu: ConfigBpdu) -> bool:
+        """Is *bpdu* strictly worse than what we transmit on this LAN?
+
+        Same-transmitter updates are never treated as inferior — a
+        neighbour announcing worse news about itself must be stored.
+        """
+        if info.stored is not None \
+                and bpdu.bridge == info.stored.bpdu.bridge \
+                and bpdu.port == info.stored.bpdu.port:
+            return False
+        mine = PriorityVector(root=self.root_id, cost=self.root_cost,
+                              bridge=self.bid, port=info.port_id)
+        return mine < bpdu.vector
+
+    def _supersedes(self, info: StpPortInfo, bpdu: ConfigBpdu) -> bool:
+        """Does *bpdu* replace the stored protocol info on this port?"""
+        if info.stored is None:
+            return True
+        held = info.stored.bpdu
+        if bpdu.vector < held.vector:
+            return True
+        # Same transmitter: always refresh (it may announce worse news,
+        # e.g. after losing its own root port).
+        return (bpdu.bridge == held.bridge and bpdu.port == held.port)
+
+    def _store(self, info: StpPortInfo, bpdu: ConfigBpdu) -> None:
+        info.clear_stored()
+        remaining = bpdu.max_age - bpdu.message_age
+        stored = StoredInfo(bpdu=bpdu, received_at=self.sim.now)
+        stored.age_event = self.sim.schedule(
+            remaining, self._message_age_expired, info)
+        info.stored = stored
+
+    def _message_age_expired(self, info: StpPortInfo) -> None:
+        """Stored info aged out: the path to the root through this port
+        is gone. Reconverge (possibly claiming root ourselves)."""
+        info.stored = None
+        old_root = self.root_id
+        self._recompute()
+        if self.root_id != old_root:
+            self.stp_counters.root_changes += 1
+        self._transmit_configs()
+
+    def _process_root_port_flags(self, bpdu: ConfigBpdu) -> None:
+        if bpdu.topology_change_ack:
+            self._tcn_awaiting_ack = False
+        if bpdu.topology_change:
+            self.fdb.set_aging(self.timers.forward_delay)
+        else:
+            self.fdb.restore_aging()
+
+    def _handle_tcn(self, info: StpPortInfo) -> None:
+        self.stp_counters.tcns_received += 1
+        if info.role is not PortRole.DESIGNATED:
+            return
+        info.send_tca = True
+        self._detect_topology_change()
+        self._tx_config(info)
+
+    # -- spanning tree computation ---------------------------------------
+
+    def _recompute(self) -> None:
+        """The 802.1D configuration update: elect root, assign roles."""
+        own = PriorityVector(root=self.bid, cost=0, bridge=self.bid,
+                             port=PortId(DEFAULT_PORT_PRIORITY, 0))
+        # Candidates compare as (vector, receiving port id) — the port id
+        # is the standard's final tie-break; our own vector uses a
+        # sentinel key that loses every tie.
+        best_vector, best_key = own, (1 << 16, 1 << 30)
+        best_info: Optional[StpPortInfo] = None
+        for info in self._port_info.values():
+            if info.state is PortState.DISABLED or info.stored is None:
+                continue
+            held = info.stored.bpdu
+            if held.bridge == self.bid:
+                continue  # our own stale information echoed back
+            candidate = held.vector.through(info.path_cost)
+            if (candidate, info.port_id._key()) < (best_vector, best_key):
+                best_vector, best_key = candidate, info.port_id._key()
+                best_info = info
+        if best_info is None or best_vector.root == self.bid:
+            self.root_id = self.bid
+            self.root_cost = 0
+            self.root_port = None
+        else:
+            self.root_id = best_vector.root
+            self.root_cost = best_vector.cost
+            self.root_port = best_info
+        for info in self._port_info.values():
+            if info.state is PortState.DISABLED:
+                continue
+            self._assign_role(info)
+
+    def _assign_role(self, info: StpPortInfo) -> None:
+        if info is self.root_port:
+            new_role = PortRole.ROOT
+        else:
+            mine = PriorityVector(root=self.root_id, cost=self.root_cost,
+                                  bridge=self.bid, port=info.port_id)
+            if info.stored is None or info.stored.bpdu.bridge == self.bid \
+                    or mine < info.stored.bpdu.vector:
+                new_role = PortRole.DESIGNATED
+            else:
+                new_role = PortRole.ALTERNATE
+        if new_role == info.role:
+            return
+        info.role = new_role
+        self._apply_state(info)
+
+    def _apply_state(self, info: StpPortInfo) -> None:
+        if info.role is PortRole.ALTERNATE:
+            was_forwarding = info.can_forward
+            info.cancel_transition()
+            info.state = PortState.BLOCKING
+            self.fdb.flush_port(info.port)
+            if was_forwarding:
+                self._detect_topology_change()
+            return
+        # ROOT or DESIGNATED: walk listening -> learning -> forwarding.
+        if info.state in (PortState.BLOCKING, PortState.DISABLED):
+            info.state = PortState.LISTENING
+            info.cancel_transition()
+            info.transition_event = self.sim.schedule(
+                self.timers.forward_delay, self._forward_delay_expired, info)
+
+    def _forward_delay_expired(self, info: StpPortInfo) -> None:
+        info.transition_event = None
+        if info.role not in (PortRole.ROOT, PortRole.DESIGNATED):
+            return
+        if info.state is PortState.LISTENING:
+            info.state = PortState.LEARNING
+            info.transition_event = self.sim.schedule(
+                self.timers.forward_delay, self._forward_delay_expired, info)
+        elif info.state is PortState.LEARNING:
+            info.state = PortState.FORWARDING
+            self._detect_topology_change()
+
+    # -- BPDU transmission -----------------------------------------------
+
+    def _on_hello_tick(self) -> None:
+        if self.is_root:
+            self._transmit_configs()
+        if self._tcn_awaiting_ack and self.root_port is not None:
+            self._tx_tcn()
+
+    def _transmit_configs(self) -> None:
+        """Send our configuration out every designated port."""
+        for info in self.ports_in(PortRole.DESIGNATED):
+            self._tx_config(info)
+
+    def _message_age(self) -> float:
+        if self.is_root:
+            return 0.0
+        if self.root_port is None or self.root_port.stored is None:
+            return 0.0
+        return (self.root_port.stored.bpdu.message_age
+                + self.timers.message_age_increment)
+
+    def _tx_config(self, info: StpPortInfo) -> None:
+        if not info.port.is_up:
+            return
+        age = self._message_age()
+        if age >= self.timers.max_age:
+            return
+        tc_flag = self._tc_active if self.is_root else (
+            self.root_port is not None
+            and self.root_port.stored is not None
+            and self.root_port.stored.bpdu.topology_change)
+        bpdu = ConfigBpdu(root=self.root_id, cost=self.root_cost,
+                          bridge=self.bid, port=info.port_id,
+                          message_age=age, max_age=self.timers.max_age,
+                          hello_time=self.timers.hello_time,
+                          forward_delay=self.timers.forward_delay,
+                          topology_change=tc_flag,
+                          topology_change_ack=info.send_tca)
+        info.send_tca = False
+        self.stp_counters.bpdus_sent += 1
+        self.counters.control_sent += 1
+        info.port.send(EthernetFrame(dst=STP_MULTICAST, src=self.mac,
+                                     ethertype=ETHERTYPE_BPDU, payload=bpdu))
+
+    def _tx_tcn(self) -> None:
+        if self.root_port is None or not self.root_port.port.is_up:
+            return
+        self.stp_counters.tcns_sent += 1
+        self.counters.control_sent += 1
+        self.root_port.port.send(
+            EthernetFrame(dst=STP_MULTICAST, src=self.mac,
+                          ethertype=ETHERTYPE_BPDU,
+                          payload=TcnBpdu(bridge=self.bid)))
+
+    # -- topology change ---------------------------------------------------
+
+    def _detect_topology_change(self) -> None:
+        self.stp_counters.topology_changes += 1
+        if self.is_root:
+            self._start_tc_while()
+        else:
+            self._tcn_awaiting_ack = True
+            self._tx_tcn()
+
+    def _start_tc_while(self) -> None:
+        """Set the TC flag in our BPDUs for max_age + forward_delay."""
+        self._tc_active = True
+        self.fdb.set_aging(self.timers.forward_delay)
+        if self._tc_while_event is not None:
+            self._tc_while_event.cancel()
+        self._tc_while_event = self.sim.schedule(
+            self.timers.max_age + self.timers.forward_delay, self._tc_done)
+
+    def _tc_done(self) -> None:
+        self._tc_active = False
+        self._tc_while_event = None
+        self.fdb.restore_aging()
+
+    # -- introspection -----------------------------------------------------
+
+    def forwarding_ports(self):
+        """Ports currently in the FORWARDING state."""
+        return [info.port for info in self._port_info.values()
+                if info.can_forward]
+
+    def tree_summary(self) -> dict:
+        """A snapshot of the tree as seen from this bridge."""
+        return {
+            "bridge": str(self.bid),
+            "root": str(self.root_id),
+            "root_cost": self.root_cost,
+            "root_port": (self.root_port.port.name
+                          if self.root_port else None),
+            "roles": {info.port.name: info.role.value
+                      for info in self._port_info.values()},
+            "states": {info.port.name: info.state.value
+                       for info in self._port_info.values()},
+        }
+
+    def __repr__(self) -> str:
+        role = "root" if self.is_root else f"root={self.root_id}"
+        return f"<StpBridge {self.name} {role}>"

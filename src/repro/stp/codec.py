@@ -1,0 +1,98 @@
+"""Wire format for 802.1D BPDUs.
+
+Layout follows IEEE 802.1D-1998 §9 (the format ``bridge_utils`` emits),
+carried directly over our pseudo-ethertype instead of LLC. Registered
+with the frame codec on import, so pcap captures of STP runs decode.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.frames import codec as frame_codec
+from repro.frames.codec import CodecError
+from repro.frames.ethernet import ETHERTYPE_BPDU
+from repro.frames.mac import MAC
+from repro.stp.bpdu import BridgeId, ConfigBpdu, PortId, TcnBpdu
+
+PROTOCOL_ID = 0x0000
+VERSION_STP = 0x00
+TYPE_CONFIG = 0x00
+TYPE_TCN = 0x80
+
+FLAG_TC = 0x01
+FLAG_TCA = 0x80
+
+_HEADER = struct.Struct("!HBB")
+#: flags, root id (8), cost (4), bridge id (8), port id (2), then the
+#: four timer fields in 1/256ths of a second.
+_CONFIG_BODY = struct.Struct("!B8sI8sHHHHH")
+
+
+def _encode_bridge_id(bid: BridgeId) -> bytes:
+    return struct.pack("!H6s", bid.priority, bid.mac.to_bytes())
+
+
+def _decode_bridge_id(raw: bytes) -> BridgeId:
+    priority, mac = struct.unpack("!H6s", raw)
+    return BridgeId(priority, MAC(mac))
+
+
+def _seconds_to_field(seconds: float) -> int:
+    return max(0, min(int(round(seconds * 256)), 0xFFFF))
+
+
+def _field_to_seconds(field: int) -> float:
+    return field / 256.0
+
+
+def encode_bpdu(bpdu) -> bytes:
+    """Serialise a Config or TCN BPDU."""
+    if isinstance(bpdu, TcnBpdu):
+        return _HEADER.pack(PROTOCOL_ID, VERSION_STP, TYPE_TCN)
+    if not isinstance(bpdu, ConfigBpdu):
+        raise CodecError(f"not a BPDU: {type(bpdu).__name__}")
+    flags = (FLAG_TC if bpdu.topology_change else 0) \
+        | (FLAG_TCA if bpdu.topology_change_ack else 0)
+    body = _CONFIG_BODY.pack(
+        flags, _encode_bridge_id(bpdu.root), bpdu.cost,
+        _encode_bridge_id(bpdu.bridge),
+        (bpdu.port.priority << 8) | (bpdu.port.number & 0xFF),
+        _seconds_to_field(bpdu.message_age),
+        _seconds_to_field(bpdu.max_age),
+        _seconds_to_field(bpdu.hello_time),
+        _seconds_to_field(bpdu.forward_delay))
+    return _HEADER.pack(PROTOCOL_ID, VERSION_STP, TYPE_CONFIG) + body
+
+
+def decode_bpdu(data: bytes):
+    """Parse BPDU bytes back into ConfigBpdu or TcnBpdu."""
+    if len(data) < _HEADER.size:
+        raise CodecError(f"BPDU too short: {len(data)} bytes")
+    protocol, version, bpdu_type = _HEADER.unpack_from(data)
+    if protocol != PROTOCOL_ID:
+        raise CodecError(f"bad BPDU protocol id {protocol:#x}")
+    if bpdu_type == TYPE_TCN:
+        # TCNs carry no body; the transmitting bridge is known only
+        # from the Ethernet source, so a placeholder id is used.
+        return TcnBpdu(bridge=BridgeId(0, MAC(0)))
+    if bpdu_type != TYPE_CONFIG:
+        raise CodecError(f"unknown BPDU type {bpdu_type:#x}")
+    body = data[_HEADER.size:]
+    if len(body) < _CONFIG_BODY.size:
+        raise CodecError(f"config BPDU truncated: {len(body)} bytes")
+    (flags, root_raw, cost, bridge_raw, port_raw, age, max_age, hello,
+     forward) = _CONFIG_BODY.unpack_from(body)
+    return ConfigBpdu(
+        root=_decode_bridge_id(root_raw), cost=cost,
+        bridge=_decode_bridge_id(bridge_raw),
+        port=PortId(port_raw >> 8, port_raw & 0xFF),
+        message_age=_field_to_seconds(age),
+        max_age=_field_to_seconds(max_age),
+        hello_time=_field_to_seconds(hello),
+        forward_delay=_field_to_seconds(forward),
+        topology_change=bool(flags & FLAG_TC),
+        topology_change_ack=bool(flags & FLAG_TCA))
+
+
+frame_codec.register_ethertype(ETHERTYPE_BPDU, encode_bpdu, decode_bpdu)

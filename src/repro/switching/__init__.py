@@ -1,0 +1,11 @@
+"""Shared bridging substrate: base bridge, learning table, learning switch."""
+
+from repro.switching.base import Bridge, BridgeCounters
+from repro.switching.learning import LearningSwitch
+from repro.switching.table import (DEFAULT_AGING_TIME, FdbEntry,
+                                   ForwardingTable)
+
+__all__ = [
+    "Bridge", "BridgeCounters", "LearningSwitch", "DEFAULT_AGING_TIME",
+    "FdbEntry", "ForwardingTable",
+]

@@ -1,0 +1,65 @@
+"""Base class shared by every bridge implementation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.frames.ethernet import EthernetFrame
+from repro.frames.mac import MAC
+from repro.netsim.engine import Simulator
+from repro.netsim.node import Node, Port
+
+
+@dataclass
+class BridgeCounters:
+    """Data-plane counters every bridge keeps."""
+
+    received: int = 0
+    forwarded: int = 0
+    flooded_frames: int = 0
+    flooded_copies: int = 0
+    filtered: int = 0
+    control_received: int = 0
+    control_sent: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "received": self.received,
+            "forwarded": self.forwarded,
+            "flooded_frames": self.flooded_frames,
+            "flooded_copies": self.flooded_copies,
+            "filtered": self.filtered,
+            "control_received": self.control_received,
+            "control_sent": self.control_sent,
+        }
+
+
+class Bridge(Node):
+    """Common behaviour for all bridge types.
+
+    Every bridge has a MAC identity (used for control protocols) and
+    data-plane counters. Subclasses implement :meth:`handle_frame`.
+    """
+
+    def __init__(self, sim: Simulator, name: str, mac: MAC):
+        super().__init__(sim, name)
+        self.mac = mac
+        self.counters = BridgeCounters()
+
+    def forward(self, out_port: Port, frame: EthernetFrame) -> None:
+        """Send a data frame out of one specific port."""
+        self.counters.forwarded += 1
+        out_port.send(frame)
+
+    def flood_data(self, frame: EthernetFrame,
+                   exclude: Optional[Port] = None) -> int:
+        """Flood a data frame on all ports but *exclude*, counting it."""
+        copies = self.flood(frame, exclude=exclude)
+        self.counters.flooded_frames += 1
+        self.counters.flooded_copies += copies
+        return copies
+
+    def filter_frame(self) -> None:
+        """Account for a deliberately discarded frame."""
+        self.counters.filtered += 1

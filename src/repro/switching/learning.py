@@ -1,0 +1,43 @@
+"""A plain 802.1 transparent learning switch (no loop protection).
+
+Safe only on loop-free topologies; it exists as (a) the data plane the
+STP bridge runs on its forwarding ports and (b) a didactic baseline that
+demonstrably melts down on loops (a test asserts the broadcast storm).
+"""
+
+from __future__ import annotations
+
+from repro.frames.ethernet import EthernetFrame
+from repro.frames.mac import MAC
+from repro.netsim.engine import Simulator
+from repro.netsim.node import Port
+from repro.switching.base import Bridge
+from repro.switching.table import DEFAULT_AGING_TIME, ForwardingTable
+
+
+class LearningSwitch(Bridge):
+    """Learn source addresses; forward known unicast, flood the rest."""
+
+    def __init__(self, sim: Simulator, name: str, mac: MAC,
+                 aging_time: float = DEFAULT_AGING_TIME):
+        super().__init__(sim, name, mac)
+        self.fdb = ForwardingTable(aging_time=aging_time)
+
+    def handle_frame(self, port: Port, frame: EthernetFrame) -> None:
+        self.counters.received += 1
+        now = self.sim.now
+        self.fdb.learn(frame.src, port, now)
+        if frame.dst.is_multicast:
+            self.flood_data(frame, exclude=port)
+            return
+        out_port = self.fdb.lookup(frame.dst, now)
+        if out_port is None:
+            self.flood_data(frame, exclude=port)
+        elif out_port is port:
+            self.filter_frame()
+        else:
+            self.forward(out_port, frame)
+
+    def link_state_changed(self, port: Port, up: bool) -> None:
+        if not up:
+            self.fdb.flush_port(port)

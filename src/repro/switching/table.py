@@ -1,0 +1,100 @@
+"""Classic 802.1 learning table with aging.
+
+Used by the plain learning switch and by the STP baseline's data plane.
+(The ARP-Path bridge has its own, different table — see
+:mod:`repro.core.table` — with the LOCKED/LEARNT semantics the paper
+introduces.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.frames.mac import MAC
+from repro.netsim.node import Port
+
+DEFAULT_AGING_TIME = 300.0
+
+
+@dataclass
+class FdbEntry:
+    """One filtering-database entry."""
+
+    port: Port
+    expires: float
+
+
+class ForwardingTable:
+    """MAC → port mappings with aging.
+
+    *aging_time* can be temporarily shortened (802.1D topology-change
+    handling) with :meth:`set_aging` and restored with
+    :meth:`restore_aging`.
+    """
+
+    def __init__(self, aging_time: float = DEFAULT_AGING_TIME):
+        self.default_aging_time = aging_time
+        self.aging_time = aging_time
+        self._entries: Dict[MAC, FdbEntry] = {}
+        self.learns = 0
+        self.moves = 0
+
+    def learn(self, mac: MAC, port: Port, now: float) -> None:
+        """Associate *mac* with *port* (refreshing the age)."""
+        entry = self._entries.get(mac)
+        if entry is None:
+            self.learns += 1
+        elif entry.port is not port:
+            self.moves += 1
+        self._entries[mac] = FdbEntry(port=port, expires=now + self.aging_time)
+
+    def lookup(self, mac: MAC, now: float) -> Optional[Port]:
+        """The port for *mac*, or None when unknown/expired."""
+        entry = self._entries.get(mac)
+        if entry is None:
+            return None
+        if entry.expires <= now:
+            del self._entries[mac]
+            return None
+        return entry.port
+
+    def forget(self, mac: MAC) -> None:
+        self._entries.pop(mac, None)
+
+    def flush(self) -> None:
+        """Remove every entry."""
+        self._entries.clear()
+
+    def flush_port(self, port: Port) -> int:
+        """Remove all entries pointing at *port*; returns how many."""
+        stale = [mac for mac, entry in self._entries.items()
+                 if entry.port is port]
+        for mac in stale:
+            del self._entries[mac]
+        return len(stale)
+
+    def expire(self, now: float) -> int:
+        """Drop entries whose age ran out; returns how many."""
+        stale = [mac for mac, entry in self._entries.items()
+                 if entry.expires <= now]
+        for mac in stale:
+            del self._entries[mac]
+        return len(stale)
+
+    def set_aging(self, aging_time: float) -> None:
+        """Temporarily change the aging time (new learns only)."""
+        self.aging_time = aging_time
+
+    def restore_aging(self) -> None:
+        self.aging_time = self.default_aging_time
+
+    def macs_on(self, port: Port) -> List[MAC]:
+        return [mac for mac, entry in self._entries.items()
+                if entry.port is port]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, mac: MAC) -> bool:
+        return mac in self._entries

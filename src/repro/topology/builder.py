@@ -1,0 +1,246 @@
+"""The network builder: wire bridges, hosts and links by name.
+
+A :class:`Network` owns one simulator plus the node and link registries;
+topology functions (:mod:`repro.topology.library`) return fully wired
+networks. The *bridge factory* chooses the protocol under test so the
+same physical topology can run ARP-Path, STP, SPB or a plain learning
+switch — exactly how the demo reuses one wiring for both protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.frames.ipv4 import IPv4Address, ip_for_host
+from repro.frames.mac import MAC, mac_for_bridge, mac_for_host
+from repro.hosts.host import Host
+from repro.netsim.engine import Simulator
+from repro.netsim.errors import AddressError, TopologyError
+from repro.netsim.link import (DEFAULT_BANDWIDTH, DEFAULT_LATENCY,
+                               DEFAULT_QUEUE_CAPACITY, Link)
+from repro.netsim.node import Node
+from repro.switching.base import Bridge
+
+#: A bridge factory builds one bridge: (sim, name, mac) -> Bridge.
+BridgeFactory = Callable[[Simulator, str, MAC], Bridge]
+
+
+class Network:
+    """A wired simulation: bridges, hosts and named links.
+
+    Typical use::
+
+        sim = Simulator(seed=1)
+        net = Network(sim, bridge_factory=arppath_factory())
+        net.add_bridges("B1", "B2")
+        a = net.add_host("A")
+        b = net.add_host("B")
+        net.link("B1", "B2", latency=10e-6)
+        net.attach("A", "B1")
+        net.attach("B", "B2")
+        net.start()
+    """
+
+    def __init__(self, sim: Simulator,
+                 bridge_factory: Optional[BridgeFactory] = None):
+        self.sim = sim
+        self.bridge_factory = bridge_factory
+        self.bridges: Dict[str, Bridge] = {}
+        self.hosts: Dict[str, Host] = {}
+        self.links: Dict[str, Link] = {}
+        self._bridge_index = 0
+        self._host_index = 0
+        self._used_macs: set = set()
+        self._used_ips: set = set()
+        self._started = False
+
+    # -- node creation -----------------------------------------------------
+
+    def add_bridge(self, name: str,
+                   factory: Optional[BridgeFactory] = None) -> Bridge:
+        """Create a bridge named *name* using *factory* (or the default)."""
+        if name in self.bridges or name in self.hosts:
+            raise TopologyError(f"duplicate node name: {name}")
+        build = factory or self.bridge_factory
+        if build is None:
+            raise TopologyError(
+                "no bridge factory given (pass one to Network or add_bridge)")
+        mac = mac_for_bridge(self._bridge_index)
+        self._bridge_index += 1
+        bridge = build(self.sim, name, mac)
+        self._claim_mac(bridge.mac)
+        self.bridges[name] = bridge
+        return bridge
+
+    def add_bridges(self, *names: str) -> List[Bridge]:
+        """Create several bridges at once."""
+        return [self.add_bridge(name) for name in names]
+
+    def add_host(self, name: str, ip: Optional[IPv4Address] = None,
+                 mac: Optional[MAC] = None, **host_kwargs) -> Host:
+        """Create an end host with deterministic addressing."""
+        if name in self.bridges or name in self.hosts:
+            raise TopologyError(f"duplicate node name: {name}")
+        if mac is None:
+            mac = mac_for_host(self._host_index)
+        if ip is None:
+            ip = ip_for_host(self._host_index)
+        self._host_index += 1
+        self._claim_mac(mac)
+        if ip in self._used_ips:
+            raise AddressError(f"duplicate IP address: {ip}")
+        self._used_ips.add(ip)
+        host = Host(self.sim, name, mac=mac, ip=ip, **host_kwargs)
+        self.hosts[name] = host
+        return host
+
+    def _claim_mac(self, mac: MAC) -> None:
+        if mac in self._used_macs:
+            raise AddressError(f"duplicate MAC address: {mac}")
+        self._used_macs.add(mac)
+
+    # -- wiring ------------------------------------------------------------
+
+    def node(self, name: str) -> Node:
+        """Look up a bridge or host by name."""
+        found = self.bridges.get(name) or self.hosts.get(name)
+        if found is None:
+            raise TopologyError(f"unknown node: {name}")
+        return found
+
+    def link(self, a: str, b: str, latency: float = DEFAULT_LATENCY,
+             bandwidth: Optional[float] = DEFAULT_BANDWIDTH,
+             queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+             name: Optional[str] = None) -> Link:
+        """Wire nodes *a* and *b* with a fresh port on each side.
+
+        The link is registered under *name* (default ``"a-b"``) for
+        failure injection and load accounting.
+        """
+        node_a = self.node(a)
+        node_b = self.node(b)
+        link_name = name or f"{a}-{b}"
+        if link_name in self.links:
+            raise TopologyError(f"duplicate link name: {link_name}")
+        wire = Link(self.sim, node_a.free_port(), node_b.free_port(),
+                    latency=latency, bandwidth=bandwidth,
+                    queue_capacity=queue_capacity, name=link_name)
+        self.links[link_name] = wire
+        return wire
+
+    def attach(self, host_name: str, bridge_name: str,
+               latency: float = DEFAULT_LATENCY,
+               bandwidth: Optional[float] = DEFAULT_BANDWIDTH) -> Link:
+        """Wire a host to a bridge (host links default to the same
+        parameters as fabric links)."""
+        if host_name not in self.hosts:
+            raise TopologyError(f"unknown host: {host_name}")
+        if bridge_name not in self.bridges:
+            raise TopologyError(f"unknown bridge: {bridge_name}")
+        return self.link(host_name, bridge_name, latency=latency,
+                         bandwidth=bandwidth)
+
+    def link_between(self, a: str, b: str) -> Link:
+        """The registered link between nodes *a* and *b* (either order)."""
+        wire = self.links.get(f"{a}-{b}") or self.links.get(f"{b}-{a}")
+        if wire is None:
+            raise TopologyError(f"no link between {a} and {b}")
+        return wire
+
+    def mark_static_roles(self) -> int:
+        """Statically classify bridge ports from the wiring (NetFPGA-style).
+
+        Every bridge that supports static roles (``mark_host_port`` /
+        ``mark_bridge_port``) gets its ports classified from ground
+        truth: ports wired to hosts are host ports, ports wired to
+        bridges are bridge ports. Used to run ARP-Path with hellos
+        disabled, exactly like the NetFPGA port configuration.
+        Returns the number of ports marked.
+        """
+        marked = 0
+        for wire in self.links.values():
+            for port, peer in ((wire.port_a, wire.port_b),
+                               (wire.port_b, wire.port_a)):
+                node = port.node
+                if isinstance(peer.node, Bridge):
+                    mark = getattr(node, "mark_bridge_port", None)
+                else:
+                    mark = getattr(node, "mark_host_port", None)
+                if isinstance(node, Bridge) and mark is not None:
+                    mark(port)
+                    marked += 1
+        return marked
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start every node (idempotent); call after wiring is complete."""
+        if self._started:
+            return
+        self._started = True
+        for bridge in self.bridges.values():
+            bridge.start()
+        for host in self.hosts.values():
+            host.start()
+
+    def run(self, duration: float) -> None:
+        """Start (if needed) and advance the simulation by *duration*."""
+        self.start()
+        self.sim.run_for(duration)
+
+    # -- queries ---------------------------------------------------------
+
+    def host(self, name: str) -> Host:
+        if name not in self.hosts:
+            raise TopologyError(f"unknown host: {name}")
+        return self.hosts[name]
+
+    def bridge(self, name: str) -> Bridge:
+        if name not in self.bridges:
+            raise TopologyError(f"unknown bridge: {name}")
+        return self.bridges[name]
+
+    def bridge_for_host(self, host_name: str) -> Bridge:
+        """The bridge the named host is attached to."""
+        host = self.host(host_name)
+        peer = host.port.peer
+        if peer is None:
+            raise TopologyError(f"host {host_name} is not attached")
+        node = peer.node
+        if not isinstance(node, Bridge):
+            raise TopologyError(f"host {host_name} is not attached to a bridge")
+        return node
+
+    def fabric_links(self) -> List[Link]:
+        """Links whose both endpoints are bridges (no host links)."""
+        return [wire for wire in self.links.values()
+                if isinstance(wire.port_a.node, Bridge)
+                and isinstance(wire.port_b.node, Bridge)]
+
+    def edges(self) -> List[Tuple[str, str, Link]]:
+        """(node_a, node_b, link) for every registered link."""
+        return [(wire.port_a.node.name, wire.port_b.node.name, wire)
+                for wire in self.links.values()]
+
+    def __repr__(self) -> str:
+        return (f"<Network bridges={len(self.bridges)} "
+                f"hosts={len(self.hosts)} links={len(self.links)}>")
+
+
+def graph_of(net: Network, fabric_only: bool = False,
+             weight: str = "latency"):
+    """The network as a :mod:`networkx` graph (latency edge weights).
+
+    Used by the path-stretch oracle: Dijkstra over this graph gives the
+    true minimum-latency path ARP-Path is expected to find.
+    """
+    import networkx as nx
+
+    graph = nx.Graph()
+    for name_a, name_b, wire in net.edges():
+        if fabric_only and (name_a in net.hosts or name_b in net.hosts):
+            continue
+        if not wire.up:
+            continue
+        graph.add_edge(name_a, name_b, latency=wire.latency, link=wire.name)
+    return graph

@@ -1,0 +1,86 @@
+"""Bridge factories: one per protocol under test.
+
+A factory fixes the protocol and its configuration; the topology
+functions take a factory so the same wiring can run every protocol —
+how the demo reuses one physical setup for both ARP-Path and STP.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.bridge import ArpPathBridge
+from repro.core.config import ArpPathConfig, DEFAULT_CONFIG
+from repro.frames.mac import MAC
+from repro.netsim.engine import Simulator
+from repro.spb.bridge import SpbBridge
+from repro.stp.bridge import StpBridge, StpTimers
+from repro.switching.learning import LearningSwitch
+from repro.topology.builder import BridgeFactory
+
+
+def arppath(config: ArpPathConfig = DEFAULT_CONFIG) -> BridgeFactory:
+    """A factory producing ARP-Path bridges with *config*."""
+
+    def build(sim: Simulator, name: str, mac: MAC) -> ArpPathBridge:
+        return ArpPathBridge(sim, name, mac, config=config)
+
+    return build
+
+
+def stp(timers: StpTimers = StpTimers(),
+        priority: Optional[int] = None) -> BridgeFactory:
+    """A factory producing 802.1D bridges.
+
+    With the default *priority* of None every bridge uses 0x8000 and the
+    lowest MAC wins root election (bridge creation order), exactly like
+    an unconfigured ``bridge_utils`` deployment.
+    """
+
+    def build(sim: Simulator, name: str, mac: MAC) -> StpBridge:
+        kwargs = {} if priority is None else {"priority": priority}
+        return StpBridge(sim, name, mac, timers=timers, **kwargs)
+
+    return build
+
+
+def stp_scaled(factor: float) -> BridgeFactory:
+    """STP with all timers scaled by *factor* (e.g. 0.1 for 10x faster)."""
+    return stp(timers=StpTimers().scaled(factor))
+
+
+def spb(**kwargs) -> BridgeFactory:
+    """A factory producing link-state shortest-path bridges."""
+
+    def build(sim: Simulator, name: str, mac: MAC) -> SpbBridge:
+        return SpbBridge(sim, name, mac, **kwargs)
+
+    return build
+
+
+def learning() -> BridgeFactory:
+    """A factory producing plain learning switches (loop-unsafe)."""
+
+    def build(sim: Simulator, name: str, mac: MAC) -> LearningSwitch:
+        return LearningSwitch(sim, name, mac)
+
+    return build
+
+
+#: Name → factory-builder registry used by experiments and benches.
+PROTOCOLS = {
+    "arppath": arppath,
+    "stp": stp,
+    "spb": spb,
+    "learning": learning,
+}
+
+
+def factory_for(protocol: str, **kwargs) -> BridgeFactory:
+    """Look up a protocol by name and build its factory."""
+    try:
+        builder = PROTOCOLS[protocol]
+    except KeyError:
+        known = ", ".join(sorted(PROTOCOLS))
+        raise ValueError(f"unknown protocol {protocol!r} (known: {known})")
+    return builder(**kwargs)

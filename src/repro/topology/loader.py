@@ -1,0 +1,116 @@
+"""Declarative topology loading (JSON/dict specs).
+
+Lets users describe a network as data instead of code — the format a
+lab would keep alongside its cabling plan::
+
+    {
+      "bridges": {"NF1": {}, "NF2": {"protocol": "stp"}},
+      "hosts": ["A", "B"],
+      "links": [
+        {"a": "NF1", "b": "NF2", "latency_us": 10}
+      ],
+      "attach": [
+        {"host": "A", "bridge": "NF1"},
+        {"host": "B", "bridge": "NF2", "latency_us": 1}
+      ],
+      "static_roles": false
+    }
+
+``bridges`` may be a list (all use the default protocol) or a mapping
+with per-bridge options (``protocol`` plus factory keyword arguments).
+Latencies are given in microseconds and bandwidths in Gb/s — the units
+humans use for lab cabling.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.netsim.engine import Simulator
+from repro.netsim.errors import TopologyError
+from repro.topology.builder import BridgeFactory, Network
+from repro.topology.factories import factory_for
+
+_LINK_KEYS = {"a", "b", "latency_us", "bandwidth_gbps", "queue", "name"}
+_ATTACH_KEYS = {"host", "bridge", "latency_us", "bandwidth_gbps"}
+
+
+def _link_kwargs(entry: Dict[str, Any]) -> Dict[str, Any]:
+    kwargs: Dict[str, Any] = {}
+    if "latency_us" in entry:
+        kwargs["latency"] = float(entry["latency_us"]) * 1e-6
+    if "bandwidth_gbps" in entry:
+        value = entry["bandwidth_gbps"]
+        kwargs["bandwidth"] = None if value is None else float(value) * 1e9
+    return kwargs
+
+
+def from_spec(sim: Simulator, spec: Dict[str, Any],
+              default_factory: Optional[BridgeFactory] = None,
+              default_protocol: str = "arppath") -> Network:
+    """Build a :class:`Network` from a topology description.
+
+    Unknown keys raise :class:`TopologyError` — a typo in a cabling
+    plan should fail loudly, not silently produce a different network.
+    """
+    known_top = {"bridges", "hosts", "links", "attach", "static_roles"}
+    unknown = set(spec) - known_top
+    if unknown:
+        raise TopologyError(f"unknown topology keys: {sorted(unknown)}")
+
+    factory = default_factory or factory_for(default_protocol)
+    net = Network(sim, bridge_factory=factory)
+
+    bridges = spec.get("bridges", {})
+    if isinstance(bridges, list):
+        bridges = {name: {} for name in bridges}
+    for name, options in bridges.items():
+        options = dict(options or {})
+        protocol = options.pop("protocol", None)
+        if protocol is not None:
+            net.add_bridge(name, factory=factory_for(protocol, **options))
+        elif options:
+            raise TopologyError(
+                f"bridge {name}: options {sorted(options)} need an "
+                "explicit 'protocol'")
+        else:
+            net.add_bridge(name)
+
+    for name in spec.get("hosts", []):
+        net.add_host(name)
+
+    for entry in spec.get("links", []):
+        unknown = set(entry) - _LINK_KEYS
+        if unknown:
+            raise TopologyError(
+                f"link {entry.get('a')}-{entry.get('b')}: unknown keys "
+                f"{sorted(unknown)}")
+        kwargs = _link_kwargs(entry)
+        if "queue" in entry:
+            kwargs["queue_capacity"] = int(entry["queue"])
+        if "name" in entry:
+            kwargs["name"] = entry["name"]
+        net.link(entry["a"], entry["b"], **kwargs)
+
+    for entry in spec.get("attach", []):
+        unknown = set(entry) - _ATTACH_KEYS
+        if unknown:
+            raise TopologyError(
+                f"attach {entry.get('host')}: unknown keys "
+                f"{sorted(unknown)}")
+        net.attach(entry["host"], entry["bridge"], **_link_kwargs(entry))
+
+    if spec.get("static_roles"):
+        net.mark_static_roles()
+    return net
+
+
+def from_json(sim: Simulator, path: str,
+              default_factory: Optional[BridgeFactory] = None,
+              default_protocol: str = "arppath") -> Network:
+    """Load a topology spec from a JSON file."""
+    with open(path) as handle:
+        spec = json.load(handle)
+    return from_spec(sim, spec, default_factory=default_factory,
+                     default_protocol=default_protocol)

@@ -1,0 +1,165 @@
+"""Traffic matrices: many-flow workloads over a network.
+
+The load-distribution and broadcast-overhead experiments need traffic
+between many host pairs. A :class:`TrafficMatrix` schedules UDP flows
+(or ping trains) between selected pairs with deterministic staggering so
+runs replay identically.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.topology.builder import Network
+from repro.traffic.ping import PingSeries
+
+DEFAULT_FLOW_PORT_BASE = 20000
+
+
+@dataclass
+class Flow:
+    """One unidirectional UDP flow between two named hosts."""
+
+    src: str
+    dst: str
+    packets: int
+    interval: float
+    size: int
+    port: int
+    sent: int = 0
+    received: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class _Stamp:
+    """Payload carrying the send timestamp for latency measurement."""
+
+    sent_at: float
+    size: int
+
+    @property
+    def wire_size(self) -> int:
+        return self.size
+
+
+class TrafficMatrix:
+    """A set of concurrent flows over *net*.
+
+    ``all_pairs`` builds the full bipartite host×host matrix;
+    ``random_pairs`` samples a fixed number of distinct ordered pairs
+    using the simulator's seeded RNG.
+    """
+
+    def __init__(self, net: Network):
+        self.net = net
+        self.flows: List[Flow] = []
+        self._next_port = DEFAULT_FLOW_PORT_BASE
+
+    # -- construction --------------------------------------------------------
+
+    def add_flow(self, src: str, dst: str, packets: int = 50,
+                 interval: float = 1e-3, size: int = 500) -> Flow:
+        if src == dst:
+            raise ValueError(f"flow endpoints must differ: {src}")
+        port = self._next_port
+        self._next_port += 1
+        flow = Flow(src=src, dst=dst, packets=packets, interval=interval,
+                    size=size, port=port)
+        self.flows.append(flow)
+        return flow
+
+    def all_pairs(self, hosts: Optional[Sequence[str]] = None,
+                  **flow_kwargs) -> List[Flow]:
+        """One flow for every ordered pair of hosts."""
+        names = list(hosts) if hosts is not None else sorted(self.net.hosts)
+        return [self.add_flow(src, dst, **flow_kwargs)
+                for src, dst in itertools.permutations(names, 2)]
+
+    def random_pairs(self, count: int,
+                     hosts: Optional[Sequence[str]] = None,
+                     **flow_kwargs) -> List[Flow]:
+        """*count* distinct ordered pairs drawn with the simulator RNG."""
+        names = list(hosts) if hosts is not None else sorted(self.net.hosts)
+        pairs = list(itertools.permutations(names, 2))
+        if count > len(pairs):
+            raise ValueError(
+                f"only {len(pairs)} distinct pairs available, asked {count}")
+        chosen = self.net.sim.rng.sample(pairs, count)
+        return [self.add_flow(src, dst, **flow_kwargs)
+                for src, dst in chosen]
+
+    # -- execution -----------------------------------------------------------
+
+    def start(self, stagger: float = 1e-4) -> None:
+        """Bind sinks and schedule every flow, staggering flow starts."""
+        for index, flow in enumerate(self.flows):
+            self._bind_sink(flow)
+            self.net.sim.schedule(index * stagger, self._run_flow, flow)
+
+    def _bind_sink(self, flow: Flow) -> None:
+        sink_host = self.net.host(flow.dst)
+
+        def on_packet(src_ip, sport, payload, packet, flow=flow):
+            flow.received += 1
+            if isinstance(payload, _Stamp):
+                flow.latencies.append(self.net.sim.now - payload.sent_at)
+
+        sink_host.bind_udp(flow.port, on_packet)
+
+    def _run_flow(self, flow: Flow) -> None:
+        src_host = self.net.host(flow.src)
+        dst_host = self.net.host(flow.dst)
+
+        def send_one() -> None:
+            if flow.sent >= flow.packets:
+                return
+            stamp = _Stamp(sent_at=self.net.sim.now, size=flow.size)
+            src_host.send_udp(dst_host.ip, flow.port, flow.port, stamp)
+            flow.sent += 1
+            if flow.sent < flow.packets:
+                self.net.sim.schedule(flow.interval, send_one)
+
+        send_one()
+
+    # -- analysis ----------------------------------------------------------
+
+    @property
+    def total_sent(self) -> int:
+        return sum(flow.sent for flow in self.flows)
+
+    @property
+    def total_received(self) -> int:
+        return sum(flow.received for flow in self.flows)
+
+    @property
+    def delivery_rate(self) -> float:
+        sent = self.total_sent
+        return self.total_received / sent if sent else 0.0
+
+    def flow_latencies(self) -> List[float]:
+        """All per-packet one-way latencies across all flows."""
+        out: List[float] = []
+        for flow in self.flows:
+            out.extend(flow.latencies)
+        return out
+
+
+def all_pairs_arp_warmup(net: Network, spacing: float = 5e-3) -> float:
+    """Make every host resolve every other host's address.
+
+    Returns the simulated time consumed. Used before load experiments so
+    measurement traffic is pure unicast.
+    """
+    names = sorted(net.hosts)
+    delay = 0.0
+    for src, dst in itertools.permutations(names, 2):
+        source = net.host(src)
+        target = net.host(dst)
+        net.sim.schedule(delay, source.ping, target.ip)
+        delay += spacing
+    total = delay + 1.0
+    net.run(total)
+    return total

@@ -1,0 +1,116 @@
+"""Request/response traffic (the demo's HTTP-like exchange).
+
+Host A in the demo acts as an HTTP server; host B connects and pulls
+data. We model the pattern over simulated UDP: a client sends a small
+request; the server answers with a configurable-size response; the
+client records the completion time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from repro.frames.ipv4 import IPv4Address, IPv4Packet
+from repro.hosts.host import Host
+
+DEFAULT_REQRESP_PORT = 8080
+
+
+@dataclass(frozen=True)
+class Request:
+    rid: int
+    sent_at: float
+    response_size: int
+
+    @property
+    def wire_size(self) -> int:
+        return 16
+
+
+@dataclass(frozen=True)
+class Response:
+    rid: int
+    request_sent_at: float
+    size: int
+
+    @property
+    def wire_size(self) -> int:
+        return self.size
+
+
+class ResponderApp:
+    """The server half: answers every request with *Response* bytes."""
+
+    def __init__(self, host: Host, port: int = DEFAULT_REQRESP_PORT):
+        self.host = host
+        self.port = port
+        self.requests_served = 0
+        host.bind_udp(port, self._on_request)
+
+    def _on_request(self, src_ip: IPv4Address, sport: int, payload: Any,
+                    packet: IPv4Packet) -> None:
+        if not isinstance(payload, Request):
+            return
+        self.requests_served += 1
+        reply = Response(rid=payload.rid, request_sent_at=payload.sent_at,
+                         size=payload.response_size)
+        self.host.send_udp(src_ip, self.port, sport, reply)
+
+
+class RequesterApp:
+    """The client half: issues requests, records completion times."""
+
+    def __init__(self, host: Host, server_ip: IPv4Address,
+                 port: int = DEFAULT_REQRESP_PORT,
+                 client_port: int = 30000,
+                 response_size: int = 1000):
+        self.host = host
+        self.server_ip = server_ip
+        self.port = port
+        self.client_port = client_port
+        self.response_size = response_size
+        self.completion_times: List[float] = []
+        self._outstanding: Dict[int, float] = {}
+        self._next_rid = 0
+        host.bind_udp(client_port, self._on_response)
+
+    def send_request(self) -> int:
+        """Issue one request; returns its id."""
+        rid = self._next_rid
+        self._next_rid += 1
+        now = self.host.sim.now
+        self._outstanding[rid] = now
+        self.host.send_udp(self.server_ip, self.client_port, self.port,
+                           Request(rid=rid, sent_at=now,
+                                   response_size=self.response_size))
+        return rid
+
+    def send_many(self, count: int, interval: float) -> None:
+        """Issue *count* requests spaced by *interval* seconds."""
+        remaining = count - 1
+        self.send_request()
+        if remaining <= 0:
+            return
+
+        def tick() -> None:
+            nonlocal remaining
+            self.send_request()
+            remaining -= 1
+            if remaining > 0:
+                self.host.sim.schedule(interval, tick)
+
+        self.host.sim.schedule(interval, tick)
+
+    def _on_response(self, src_ip: IPv4Address, sport: int, payload: Any,
+                     packet: IPv4Packet) -> None:
+        if not isinstance(payload, Response):
+            return
+        sent_at = self._outstanding.pop(payload.rid, None)
+        if sent_at is None:
+            return
+        self.completion_times.append(self.host.sim.now - sent_at)
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._outstanding)

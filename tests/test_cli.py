@@ -1,0 +1,52 @@
+"""Tests for the command-line interface (fast subcommands only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        subactions = next(a for a in parser._actions
+                          if hasattr(a, "choices") and a.choices)
+        assert set(subactions.choices) == {
+            "fig2", "fig3", "stretch", "loopfree", "proxy", "loadbalance",
+            "ablations", "ping"}
+
+    def test_fig2_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.probes == 20 and args.seed == 0
+
+    def test_ping_protocol_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ping", "--protocol", "trill"])
+
+    def test_ping_rejects_learning_switch(self):
+        """A learning switch storms on the loopy demo wiring; the CLI
+        refuses to build that footgun."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ping", "--protocol", "learning"])
+
+    def test_stretch_multiple_seeds(self):
+        args = build_parser().parse_args(["stretch", "--seeds", "1", "2"])
+        assert args.seeds == [1, 2]
+
+
+class TestExecution:
+    def test_ping_arppath(self, capsys):
+        code = main(["ping", "--protocol", "arppath", "--count", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rtt:" in out and "NF1" in out
+
+    def test_proxy_small(self, capsys):
+        code = main(["proxy", "--rows", "2", "--cols", "2",
+                     "--rounds", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "EXP-A1" in out

@@ -1,0 +1,213 @@
+"""Round-trip tests for the wire-format codec (hypothesis-heavy)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.frames import codec
+from repro.frames.arp import ArpPacket, OP_REPLY, OP_REQUEST
+from repro.frames.codec import CodecError
+from repro.frames.control import (ArpPathControl, OP_HELLO, OP_PATH_FAIL,
+                                  OP_PATH_REPLY, OP_PATH_REQUEST)
+from repro.frames.ethernet import (ETH_MIN_FRAME, ETHERTYPE_ARP,
+                                   ETHERTYPE_ARPPATH, ETHERTYPE_IPV4,
+                                   EthernetFrame)
+from repro.frames.icmp import IcmpEcho, TYPE_ECHO_REPLY, TYPE_ECHO_REQUEST
+from repro.frames.ipv4 import IPv4Address, IPv4Packet, PROTO_ICMP, PROTO_UDP
+from repro.frames.mac import MAC
+from repro.frames.udp import UdpDatagram
+
+macs = st.integers(min_value=0, max_value=(1 << 48) - 1).map(MAC)
+ips = st.integers(min_value=0, max_value=(1 << 32) - 1).map(IPv4Address)
+ports = st.integers(min_value=0, max_value=0xFFFF)
+short_payloads = st.binary(max_size=64)
+
+
+class TestArpCodec:
+    @given(op=st.sampled_from([OP_REQUEST, OP_REPLY]), sha=macs, spa=ips,
+           tha=macs, tpa=ips)
+    def test_round_trip(self, op, sha, spa, tha, tpa):
+        original = ArpPacket(op=op, sha=sha, spa=spa, tha=tha, tpa=tpa)
+        assert codec.decode_arp(codec.encode_arp(original)) == original
+
+    def test_encoded_length(self):
+        packet = ArpPacket(op=OP_REQUEST, sha=MAC(1), spa=IPv4Address(1),
+                           tha=MAC(0), tpa=IPv4Address(2))
+        assert len(codec.encode_arp(packet)) == 28
+
+    def test_truncated_rejected(self):
+        with pytest.raises(CodecError):
+            codec.decode_arp(b"\x00" * 10)
+
+    def test_bad_htype_rejected(self):
+        raw = bytearray(codec.encode_arp(
+            ArpPacket(op=OP_REQUEST, sha=MAC(1), spa=IPv4Address(1),
+                      tha=MAC(0), tpa=IPv4Address(2))))
+        raw[0] = 0xFF
+        with pytest.raises(CodecError):
+            codec.decode_arp(bytes(raw))
+
+
+class TestControlCodec:
+    @given(op=st.sampled_from([OP_HELLO, OP_PATH_REQUEST, OP_PATH_REPLY,
+                               OP_PATH_FAIL]),
+           origin=macs, source=macs, target=macs,
+           seq=st.integers(min_value=0, max_value=(1 << 32) - 1),
+           ttl=st.integers(min_value=0, max_value=0xFFFF))
+    def test_round_trip(self, op, origin, source, target, seq, ttl):
+        original = ArpPathControl(op=op, origin=origin, source=source,
+                                  target=target, seq=seq, ttl=ttl)
+        decoded = codec.decode_control(codec.encode_control(original))
+        assert decoded == original
+
+    def test_truncated_rejected(self):
+        with pytest.raises(CodecError):
+            codec.decode_control(b"\x00\x01")
+
+    def test_unknown_op_rejected(self):
+        raw = bytearray(codec.encode_control(
+            ArpPathControl(op=OP_HELLO, origin=MAC(1), source=MAC(1),
+                           target=MAC(1))))
+        raw[1] = 0x63
+        with pytest.raises(CodecError):
+            codec.decode_control(bytes(raw))
+
+
+class TestIcmpCodec:
+    @given(icmp_type=st.sampled_from([TYPE_ECHO_REQUEST, TYPE_ECHO_REPLY]),
+           ident=ports, seq=ports, payload=short_payloads)
+    def test_round_trip(self, icmp_type, ident, seq, payload):
+        original = IcmpEcho(icmp_type=icmp_type, ident=ident, seq=seq,
+                            payload=payload)
+        assert codec.decode_icmp(codec.encode_icmp(original)) == original
+
+    def test_checksum_is_valid(self):
+        echo = IcmpEcho(icmp_type=TYPE_ECHO_REQUEST, ident=1, seq=1,
+                        payload=b"ab")
+        raw = codec.encode_icmp(echo)
+        assert codec._inet_checksum(raw) == 0
+
+    def test_unsupported_type_rejected(self):
+        raw = bytearray(codec.encode_icmp(
+            IcmpEcho(icmp_type=TYPE_ECHO_REQUEST, ident=0, seq=0)))
+        raw[0] = 13
+        with pytest.raises(CodecError):
+            codec.decode_icmp(bytes(raw))
+
+
+class TestUdpCodec:
+    @given(sport=ports, dport=ports, payload=short_payloads)
+    def test_round_trip(self, sport, dport, payload):
+        original = UdpDatagram(sport=sport, dport=dport, payload=payload)
+        decoded = codec.decode_udp(codec.encode_udp(original))
+        assert (decoded.sport, decoded.dport) == (sport, dport)
+        assert decoded.payload == payload
+
+    def test_length_field_respected(self):
+        raw = codec.encode_udp(UdpDatagram(sport=1, dport=2, payload=b"abc"))
+        decoded = codec.decode_udp(raw + b"\x00" * 10)  # trailing padding
+        assert decoded.payload == b"abc"
+
+    def test_bad_length_rejected(self):
+        raw = bytearray(codec.encode_udp(UdpDatagram(sport=1, dport=2)))
+        raw[4:6] = (2).to_bytes(2, "big")  # length < header
+        with pytest.raises(CodecError):
+            codec.decode_udp(bytes(raw))
+
+
+class TestIpv4Codec:
+    @given(src=ips, dst=ips, ttl=st.integers(min_value=0, max_value=255),
+           ident=ports, sport=ports, dport=ports, payload=short_payloads)
+    def test_udp_round_trip(self, src, dst, ttl, ident, sport, dport,
+                            payload):
+        original = IPv4Packet(src=src, dst=dst, proto=PROTO_UDP,
+                              payload=UdpDatagram(sport=sport, dport=dport,
+                                                  payload=payload),
+                              ttl=ttl, ident=ident)
+        decoded = codec.decode_ipv4(codec.encode_ipv4(original))
+        assert (decoded.src, decoded.dst, decoded.ttl,
+                decoded.ident) == (src, dst, ttl, ident)
+        assert decoded.payload.payload == payload
+
+    @given(src=ips, dst=ips, ident=ports, seq=ports,
+           payload=short_payloads)
+    def test_icmp_round_trip(self, src, dst, ident, seq, payload):
+        original = IPv4Packet(src=src, dst=dst, proto=PROTO_ICMP,
+                              payload=IcmpEcho(icmp_type=TYPE_ECHO_REQUEST,
+                                               ident=ident, seq=seq,
+                                               payload=payload))
+        decoded = codec.decode_ipv4(codec.encode_ipv4(original))
+        assert decoded.payload == original.payload
+
+    def test_opaque_proto_stays_bytes(self):
+        original = IPv4Packet(src=IPv4Address(1), dst=IPv4Address(2),
+                              proto=89, payload=b"ospf-ish")
+        decoded = codec.decode_ipv4(codec.encode_ipv4(original))
+        assert decoded.payload == b"ospf-ish"
+
+    def test_header_checksum_valid(self):
+        raw = codec.encode_ipv4(IPv4Packet(src=IPv4Address(1),
+                                           dst=IPv4Address(2),
+                                           proto=PROTO_UDP,
+                                           payload=UdpDatagram(1, 2)))
+        assert codec._inet_checksum(raw[:20]) == 0
+
+    def test_truncated_rejected(self):
+        with pytest.raises(CodecError):
+            codec.decode_ipv4(b"\x45" + b"\x00" * 5)
+
+    def test_bad_version_rejected(self):
+        raw = bytearray(codec.encode_ipv4(
+            IPv4Packet(src=IPv4Address(1), dst=IPv4Address(2),
+                       proto=PROTO_UDP, payload=UdpDatagram(1, 2))))
+        raw[0] = 0x60
+        with pytest.raises(CodecError):
+            codec.decode_ipv4(bytes(raw))
+
+
+class TestFrameCodec:
+    @given(dst=macs, src=macs)
+    def test_arp_frame_round_trip(self, dst, src):
+        packet = ArpPacket(op=OP_REQUEST, sha=src, spa=IPv4Address(1),
+                           tha=MAC(0), tpa=IPv4Address(2))
+        frame = EthernetFrame(dst=dst, src=src, ethertype=ETHERTYPE_ARP,
+                              payload=packet)
+        decoded = codec.decode_frame(codec.encode_frame(frame))
+        assert (decoded.dst, decoded.src) == (dst, src)
+        assert decoded.payload == packet
+
+    def test_minimum_frame_is_padded(self):
+        frame = EthernetFrame(dst=MAC(1), src=MAC(2),
+                              ethertype=ETHERTYPE_IPV4, payload=b"")
+        raw = codec.encode_frame(frame)
+        assert len(raw) == ETH_MIN_FRAME - 4  # FCS is virtual
+
+    def test_control_frame_round_trip(self):
+        msg = ArpPathControl(op=OP_PATH_REQUEST, origin=MAC(9),
+                             source=MAC(1), target=MAC(2), seq=4, ttl=17)
+        frame = EthernetFrame(dst=MAC(0xFFFFFFFFFFFF), src=MAC(1),
+                              ethertype=ETHERTYPE_ARPPATH, payload=msg)
+        decoded = codec.decode_frame(codec.encode_frame(frame))
+        assert decoded.payload == msg
+
+    def test_unknown_ethertype_opaque(self):
+        frame = EthernetFrame(dst=MAC(1), src=MAC(2), ethertype=0x1234,
+                              payload=b"who knows")
+        decoded = codec.decode_frame(codec.encode_frame(frame))
+        assert decoded.ethertype == 0x1234
+        assert decoded.payload.startswith(b"who knows")
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(CodecError):
+            codec.decode_frame(b"\x00" * 8)
+
+    def test_register_custom_ethertype(self):
+        marker = 0x9999
+        codec.register_ethertype(marker, lambda obj: b"\xAB",
+                                 lambda raw: "decoded!")
+        frame = EthernetFrame(dst=MAC(1), src=MAC(2), ethertype=marker,
+                              payload=object.__new__(object))
+        # Encoding an arbitrary object is possible once registered.
+        raw = codec.encode_frame(frame)
+        assert codec.decode_frame(raw).payload == "decoded!"
+        del codec._ethertype_codecs[marker]

@@ -1,0 +1,200 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.engine import (PRIORITY_EARLY, PRIORITY_LATE,
+                                 PRIORITY_NORMAL, Simulator)
+from repro.netsim.errors import SchedulingError
+
+
+class TestScheduling:
+    def test_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_schedule_and_run(self, sim):
+        fired = []
+        sim.schedule(1.5, fired.append, "a")
+        sim.run()
+        assert fired == ["a"]
+        assert sim.now == 1.5
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_at_absolute_time(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        order = []
+        sim.at(2.0, order.append, "x")
+        sim.run()
+        assert sim.now == 2.0 and order == ["x"]
+
+    def test_at_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.at(0.5, lambda: None)
+
+    def test_fifo_within_same_time(self, sim):
+        order = []
+        for tag in range(5):
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_priority_beats_insertion_order(self, sim):
+        order = []
+        sim.schedule(1.0, order.append, "normal", priority=PRIORITY_NORMAL)
+        sim.schedule(1.0, order.append, "early", priority=PRIORITY_EARLY)
+        sim.schedule(1.0, order.append, "late", priority=PRIORITY_LATE)
+        sim.run()
+        assert order == ["early", "normal", "late"]
+
+    def test_call_soon_runs_after_current(self, sim):
+        order = []
+
+        def outer():
+            sim.call_soon(order.append, "inner")
+            order.append("outer")
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert order == ["outer", "inner"]
+
+    def test_cancel_prevents_firing(self, sim):
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_events_scheduled_while_running(self, sim):
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(1.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 4.0
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_exactly(self, sim):
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=3.0)
+        assert sim.now == 3.0
+        assert sim.pending_events == 1
+
+    def test_run_until_advances_clock_when_queue_drains(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_run_for_is_relative(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run_for(2.0)
+        assert sim.now == 2.0
+        sim.run_for(2.0)
+        assert sim.now == 4.0
+
+    def test_max_events(self, sim):
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)
+        sim.run(max_events=4)
+        assert sim.events_processed == 4
+
+    def test_step(self, sim):
+        sim.schedule(1.0, lambda: None)
+        assert sim.step() is True
+        assert sim.step() is False
+
+    def test_events_processed_counter(self, sim):
+        for _ in range(7):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 7
+
+
+class TestPeriodic:
+    def test_fires_repeatedly(self, sim):
+        count = []
+        sim.schedule_periodic(1.0, count.append, 1)
+        sim.run(until=5.5)
+        assert len(count) == 5
+
+    def test_stop(self, sim):
+        count = []
+        timer = sim.schedule_periodic(1.0, count.append, 1)
+        sim.schedule(2.5, timer.stop)
+        sim.run(until=10.0)
+        assert len(count) == 2
+
+    def test_stop_is_idempotent(self, sim):
+        timer = sim.schedule_periodic(1.0, lambda: None)
+        timer.stop()
+        timer.stop()
+
+    def test_zero_interval_rejected(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.schedule_periodic(0.0, lambda: None)
+
+    def test_jitter_spreads_firings(self):
+        sim = Simulator(seed=7)
+        times = []
+        sim.schedule_periodic(1.0, lambda: times.append(sim.now),
+                              jitter=0.5)
+        sim.run(until=20.0)
+        deltas = {round(b - a, 6) for a, b in zip(times, times[1:])}
+        assert len(deltas) > 1  # jitter actually varies
+        assert all(1.0 <= d < 1.5 + 1e-9 for d in deltas)
+
+    def test_interval_property(self, sim):
+        timer = sim.schedule_periodic(2.5, lambda: None)
+        assert timer.interval == 2.5
+        timer.stop()
+
+
+class TestDeterminism:
+    def _run_once(self, seed):
+        sim = Simulator(seed=seed)
+        trace = []
+
+        def noisy(tag):
+            trace.append((round(sim.now, 9), tag, sim.rng.random()))
+
+        for tag in range(5):
+            sim.schedule_periodic(0.1 + tag * 0.01, noisy, tag)
+        sim.run(until=2.0)
+        return trace
+
+    def test_same_seed_same_trace(self):
+        assert self._run_once(3) == self._run_once(3)
+
+    def test_different_seed_different_rng(self):
+        first = self._run_once(3)
+        second = self._run_once(4)
+        assert [t[:2] for t in first] == [t[:2] for t in second]
+        assert first != second
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=10.0),
+                    min_size=1, max_size=20))
+    def test_events_fire_in_time_order(self, delays):
+        sim = Simulator(seed=0)
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)

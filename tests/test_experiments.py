@@ -1,0 +1,207 @@
+"""Smoke tests for the experiment modules (small, fast variants).
+
+Each test checks the experiment runs and its result has the *shape* the
+paper reports — who wins and roughly by how much. The full-size runs
+live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments import (ablations, broadcast, fig2_latency,
+                               fig3_repair, loadbalance, loopfree, stretch)
+from repro.experiments.common import spec
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2_latency.run(
+            probes=5, protocols=[spec("arppath"),
+                                 spec("stp", stp_scale=0.1)])
+
+    def test_both_protocols_measured(self, result):
+        assert {row.protocol.split("(")[0] for row in result.rows} \
+            == {"arppath", "stp"}
+
+    def test_arppath_wins(self, result):
+        by_name = {row.protocol.split("(")[0]: row for row in result.rows}
+        assert by_name["arppath"].rtt.mean < by_name["stp"].rtt.mean
+
+    def test_speedup_at_least_5x(self, result):
+        assert result.speedup() > 5
+
+    def test_arppath_path_avoids_cross(self, result):
+        arp_row = next(r for r in result.rows if r.protocol == "arppath")
+        assert arp_row.bridge_path in (("NF1", "NF2", "NF3"),
+                                       ("NF1", "NF4", "NF3"))
+
+    def test_stp_path_uses_cross(self, result):
+        stp_row = next(r for r in result.rows
+                       if r.protocol.startswith("stp"))
+        assert stp_row.bridge_path == ("NF1", "NF3")
+
+    def test_no_losses(self, result):
+        assert all(row.losses == 0 for row in result.rows)
+
+    def test_table_renders(self, result):
+        table = result.table()
+        assert "arppath" in table and "rtt_mean_us" in table
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3_repair.run(failures=2, seed=0)
+
+    def test_all_failures_hit_a_link(self, result):
+        for row in result.rows:
+            assert all(o.link is not None for o in row.outcomes)
+
+    def test_arppath_outage_sub_frame_interval(self, result):
+        arp = next(r for r in result.rows if r.protocol == "arppath")
+        for outcome in arp.outcomes:
+            assert outcome.outage is not None
+            assert outcome.outage < 0.1
+
+    def test_arppath_no_chunk_loss(self, result):
+        arp = next(r for r in result.rows if r.protocol == "arppath")
+        assert arp.delivery_rate == 1.0
+
+    def test_stp_outage_orders_slower(self, result):
+        arp = next(r for r in result.rows if r.protocol == "arppath")
+        stp_row = next(r for r in result.rows
+                       if r.protocol.startswith("stp"))
+        worst_arp = max(o.outage for o in arp.outcomes)
+        worst_stp = max(o.outage for o in stp_row.outcomes)
+        assert worst_stp / worst_arp > 100
+
+    def test_repair_times_recorded(self, result):
+        arp = next(r for r in result.rows if r.protocol == "arppath")
+        assert len(arp.bridge_repair_times) == 2
+
+    def test_table_renders(self, result):
+        assert "outage_ms" in result.table()
+
+
+class TestStretch:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return stretch.run(n_bridges=7, hosts=3, seeds=[0],
+                           protocols=[spec("arppath"),
+                                      spec("stp", stp_scale=0.1)])
+
+    def test_arppath_is_optimal(self, result):
+        arp = next(r for r in result.rows if r.protocol == "arppath")
+        assert arp.optimal_fraction == 1.0
+
+    def test_stp_is_worse(self, result):
+        arp = next(r for r in result.rows if r.protocol == "arppath")
+        stp_row = next(r for r in result.rows
+                       if r.protocol.startswith("stp"))
+        assert stp_row.summary().mean >= arp.summary().mean
+
+    def test_table_renders(self, result):
+        assert "stretch_mean" in result.table()
+
+
+class TestLoopfree:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return loopfree.run(topologies=["ring"],
+                            protocols=[spec("arppath"),
+                                       spec("stp", stp_scale=0.1)])
+
+    def test_no_duplicates_no_storm(self, result):
+        for row in result.rows:
+            assert row.duplicate_deliveries == 0
+            assert not row.storm
+
+    def test_arppath_uses_more_links_than_stp(self, result):
+        arp = next(r for r in result.rows if r.protocol == "arppath")
+        stp_row = next(r for r in result.rows
+                       if r.protocol.startswith("stp"))
+        assert arp.used_links >= stp_row.used_links
+        assert stp_row.used_links < stp_row.total_links  # blocked links
+
+    def test_arppath_uses_all_ring_links(self, result):
+        arp = next(r for r in result.rows if r.protocol == "arppath")
+        assert arp.used_links == arp.total_links
+
+
+class TestBroadcastSuppression:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return broadcast.run(rows=2, cols=2, rounds=2)
+
+    def test_proxy_reduces_arp_traffic(self, result):
+        assert result.reduction() > 1.5
+
+    def test_no_resolution_failures(self, result):
+        for row in result.rows:
+            assert row.resolution_failures == 0
+
+    def test_proxy_answers_counted(self, result):
+        on = next(r for r in result.rows if r.proxy)
+        assert on.proxy_answers > 0
+
+
+class TestLoadBalance:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return loadbalance.run(pods=4, hosts_per_edge=1, packets=20,
+                               protocols=[spec("arppath"),
+                                          spec("stp", stp_scale=0.1)])
+
+    def test_everything_delivered(self, result):
+        for row in result.rows:
+            assert row.delivery_rate == 1.0
+
+    def test_arppath_spreads_load(self, result):
+        arp = next(r for r in result.rows if r.protocol == "arppath")
+        stp_row = next(r for r in result.rows
+                       if r.protocol.startswith("stp"))
+        assert arp.report.used_links > stp_row.report.used_links
+        assert arp.report.cv < stp_row.report.cv
+
+
+class TestOccupancy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import occupancy
+        return occupancy.run(host_counts=[1, 2], sparse_pairs=4)
+
+    def test_arppath_state_tracks_traffic(self, result):
+        sparse = [r for r in result.rows
+                  if r.protocol == "arppath (sparse)"]
+        assert len(sparse) >= 2
+        # Sparse traffic: table size stays flat as hosts double.
+        assert sparse[-1].peak_entries_per_bridge \
+            <= sparse[0].peak_entries_per_bridge + 2
+
+    def test_spb_state_tracks_network(self, result):
+        spb_rows = [r for r in result.rows if r.protocol == "spb"]
+        assert spb_rows[-1].peak_entries_per_bridge \
+            > spb_rows[0].peak_entries_per_bridge
+
+    def test_table_renders(self, result):
+        assert "peak_state/bridge" in result.table()
+
+
+class TestAblations:
+    def test_lock_timeout_sweep_shape(self):
+        rows = ablations.sweep_lock_timeout(timeouts=[0.0002, 0.8])
+        short, normal = rows
+        assert short.relocks > normal.relocks
+        assert normal.losses == 0
+
+    def test_repair_buffer_sweep_shape(self):
+        rows = ablations.sweep_repair_buffer(sizes=[0, 32])
+        without, with_buffer = rows
+        assert without.chunks_lost > with_buffer.chunks_lost
+        assert with_buffer.buffered > 0
+
+    def test_hello_sweep_shape(self):
+        rows = ablations.sweep_hello()
+        dynamic, static, none = rows
+        assert dynamic.repaired and static.repaired
+        assert not none.repaired

@@ -1,0 +1,81 @@
+"""Tests for the failure injector."""
+
+import pytest
+
+from repro.failures.injector import (ACTION_DOWN, ACTION_UP, FailureInjector,
+                                     FailureRecord)
+from repro.topology import arppath, netfpga_demo
+
+
+@pytest.fixture
+def demo(sim):
+    net = netfpga_demo(sim, arppath())
+    net.start()
+    return net
+
+
+class TestPrimitives:
+    def test_link_down_executes_at_time(self, demo):
+        injector = FailureInjector(demo)
+        injector.link_down("NF1-NF2", at=1.0)
+        demo.run(2.0)
+        assert not demo.link_between("NF1", "NF2").up
+        assert injector.records == [
+            FailureRecord(time=1.0, link="NF1-NF2", action=ACTION_DOWN)]
+
+    def test_link_up_restores(self, demo):
+        injector = FailureInjector(demo)
+        injector.link_down("NF1-NF2", at=1.0)
+        injector.link_up("NF1-NF2", at=2.0)
+        demo.run(3.0)
+        assert demo.link_between("NF1", "NF2").up
+        assert [r.action for r in injector.records] \
+            == [ACTION_DOWN, ACTION_UP]
+
+    def test_flap(self, demo):
+        injector = FailureInjector(demo)
+        injector.flap("NF2-NF3", at=1.0, down_for=0.5)
+        demo.run(1.2)
+        assert not demo.link_between("NF2", "NF3").up
+        demo.run(1.0)
+        assert demo.link_between("NF2", "NF3").up
+
+    def test_unknown_link_rejected(self, demo):
+        injector = FailureInjector(demo)
+        with pytest.raises(KeyError):
+            injector.link_down("NF9-NF10", at=1.0)
+
+    def test_bridge_crash_downs_all_links(self, demo):
+        injector = FailureInjector(demo)
+        affected = injector.bridge_crash("NF1", at=1.0)
+        demo.run(2.0)
+        assert len(affected) == 4  # 3 fabric + host A
+        for name in affected:
+            assert not demo.links[name].up
+
+
+class TestScripts:
+    def test_successive_failures_times(self, demo):
+        injector = FailureInjector(demo)
+        times = injector.successive_failures(["NF1-NF2", "NF2-NF3"],
+                                             start=1.0, spacing=2.0)
+        assert times == [1.0, 3.0]
+        demo.run(4.0)
+        assert len(injector.downs()) == 2
+
+    def test_successive_with_restore(self, demo):
+        injector = FailureInjector(demo)
+        injector.successive_failures(["NF1-NF2", "NF2-NF3"], start=1.0,
+                                     spacing=2.0, restore_after=1.0)
+        demo.run(5.0)
+        assert demo.link_between("NF1", "NF2").up
+        assert demo.link_between("NF2", "NF3").up
+        assert len(injector) == 4
+
+    def test_records_in_time_order(self, demo):
+        injector = FailureInjector(demo)
+        injector.link_down("NF2-NF3", at=2.0)
+        injector.link_down("NF1-NF2", at=1.0)
+        demo.run(3.0)
+        times = [r.time for r in injector.records]
+        assert times == sorted(times)

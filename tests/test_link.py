@@ -1,0 +1,245 @@
+"""Tests for links: serialization, propagation, queues, carrier."""
+
+import pytest
+
+from repro.frames.ethernet import ETHERTYPE_IPV4, EthernetFrame
+from repro.frames.mac import mac_for_host
+from repro.netsim import tracer as trc
+from repro.netsim.engine import Simulator
+from repro.netsim.errors import TopologyError
+from repro.netsim.link import Link
+from repro.netsim.node import Node, Port
+
+H0, H1 = mac_for_host(0), mac_for_host(1)
+
+
+class Sink(Node):
+    """A node that records everything it receives."""
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = []
+        self.carrier_events = []
+
+    def handle_frame(self, port, frame):
+        self.received.append((self.sim.now, port, frame))
+
+    def link_state_changed(self, port, up):
+        self.carrier_events.append((self.sim.now, port, up))
+
+
+def make_frame(size_payload=100):
+    return EthernetFrame(dst=H1, src=H0, ethertype=ETHERTYPE_IPV4,
+                         payload=b"x" * size_payload)
+
+
+@pytest.fixture
+def wire(sim):
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    link = Link(sim, a.add_port(), b.add_port(), latency=1e-3,
+                bandwidth=1e6, queue_capacity=2, name="a-b")
+    return a, b, link
+
+
+class TestWiring:
+    def test_self_port_rejected(self, sim):
+        node = Sink(sim, "n")
+        port = node.add_port()
+        with pytest.raises(TopologyError):
+            Link(sim, port, port)
+
+    def test_double_attach_rejected(self, sim):
+        a, b, c = Sink(sim, "a"), Sink(sim, "b"), Sink(sim, "c")
+        pa = a.add_port()
+        Link(sim, pa, b.add_port())
+        with pytest.raises(TopologyError):
+            Link(sim, pa, c.add_port())
+
+    def test_negative_latency_rejected(self, sim):
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        with pytest.raises(TopologyError):
+            Link(sim, a.add_port(), b.add_port(), latency=-1)
+
+    def test_zero_bandwidth_rejected(self, sim):
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        with pytest.raises(TopologyError):
+            Link(sim, a.add_port(), b.add_port(), bandwidth=0)
+
+    def test_other_endpoint(self, wire):
+        a, b, link = wire
+        assert link.other(a.ports[0]) is b.ports[0]
+        assert link.other(b.ports[0]) is a.ports[0]
+
+    def test_other_rejects_foreign_port(self, sim, wire):
+        _a, _b, link = wire
+        stranger = Sink(sim, "s").add_port()
+        with pytest.raises(TopologyError):
+            link.other(stranger)
+
+    def test_port_peer(self, wire):
+        a, b, _link = wire
+        assert a.ports[0].peer is b.ports[0]
+
+
+class TestTiming:
+    def test_delivery_time_is_serialization_plus_latency(self, sim, wire):
+        a, b, link = wire
+        frame = make_frame(100)  # 118B on wire -> 944 bits at 1e6 b/s
+        a.ports[0].send(frame)
+        sim.run()
+        expected = frame.wire_size * 8 / 1e6 + 1e-3
+        assert b.received[0][0] == pytest.approx(expected)
+
+    def test_infinite_bandwidth_skips_serialization(self, sim):
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        Link(sim, a.add_port(), b.add_port(), latency=2e-3, bandwidth=None)
+        a.ports[0].send(make_frame())
+        sim.run()
+        assert b.received[0][0] == pytest.approx(2e-3)
+
+    def test_back_to_back_frames_queue_behind_transmitter(self, sim, wire):
+        a, b, link = wire
+        frame = make_frame(100)
+        ser = link.serialization_delay(frame)
+        a.ports[0].send(frame)
+        a.ports[0].send(frame.clone())
+        sim.run()
+        times = [t for t, _p, _f in b.received]
+        assert times[1] - times[0] == pytest.approx(ser)
+
+    def test_directions_are_independent(self, sim, wire):
+        a, b, _link = wire
+        a.ports[0].send(make_frame())
+        b.ports[0].send(make_frame())
+        sim.run()
+        assert len(a.received) == 1 and len(b.received) == 1
+
+    def test_frames_are_cloned_on_send(self, sim, wire):
+        a, b, _link = wire
+        frame = make_frame()
+        a.ports[0].send(frame)
+        sim.run()
+        delivered = b.received[0][2]
+        assert delivered is not frame
+        assert delivered.uid == frame.uid
+
+
+class TestQueueing:
+    def test_queue_overflow_drops(self, sim, wire):
+        a, b, link = wire
+        # 1 transmitting + 2 queued = 3 delivered; the rest tail-drop.
+        for _ in range(6):
+            a.ports[0].send(make_frame())
+        sim.run()
+        assert len(b.received) == 3
+        assert sim.tracer.count(trc.DROP_QUEUE) == 3
+
+    def test_queue_drains_in_order(self, sim, wire):
+        a, b, _link = wire
+        frames = [make_frame() for _ in range(3)]
+        for frame in frames:
+            a.ports[0].send(frame)
+        sim.run()
+        received_uids = [f.uid for _t, _p, f in b.received]
+        assert received_uids == [f.uid for f in frames]
+
+
+class TestCarrier:
+    def test_down_drops_in_flight(self, sim, wire):
+        a, b, link = wire
+        a.ports[0].send(make_frame())
+        sim.schedule(1e-4, link.take_down)  # before delivery at ~1.9ms
+        sim.run()
+        assert b.received == []
+        assert sim.tracer.count(trc.DROP_LINK_DOWN) >= 1
+
+    def test_down_drops_queued(self, sim, wire):
+        a, b, link = wire
+        for _ in range(3):
+            a.ports[0].send(make_frame())
+        link.take_down()
+        sim.run()
+        assert b.received == []
+
+    def test_send_while_down_is_dropped(self, sim, wire):
+        a, b, link = wire
+        link.take_down()
+        sim.run()
+        a.ports[0].send(make_frame())
+        sim.run()
+        assert b.received == []
+
+    def test_both_ends_notified(self, sim, wire):
+        a, b, link = wire
+        link.take_down()
+        sim.run()
+        assert a.carrier_events[-1][2] is False
+        assert b.carrier_events[-1][2] is False
+
+    def test_bring_up_notifies(self, sim, wire):
+        a, b, link = wire
+        link.take_down()
+        sim.run()
+        link.bring_up()
+        sim.run()
+        assert a.carrier_events[-1][2] is True
+
+    def test_take_down_is_idempotent(self, sim, wire):
+        a, _b, link = wire
+        link.take_down()
+        link.take_down()
+        sim.run()
+        downs = [e for e in a.carrier_events if e[2] is False]
+        assert len(downs) == 1
+
+    def test_traffic_resumes_after_up(self, sim, wire):
+        a, b, link = wire
+        link.take_down()
+        sim.run()
+        link.bring_up()
+        sim.run()
+        a.ports[0].send(make_frame())
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_port_is_up_tracks_carrier(self, sim, wire):
+        a, _b, link = wire
+        assert a.ports[0].is_up
+        link.take_down()
+        assert not a.ports[0].is_up
+
+
+class TestNode:
+    def test_free_port_reuses_unattached(self, sim):
+        node = Sink(sim, "n")
+        port = node.add_port()
+        assert node.free_port() is port
+
+    def test_free_port_creates_when_all_attached(self, sim, wire):
+        a, _b, _link = wire
+        new = a.free_port()
+        assert new is not a.ports[0]
+
+    def test_flood_excludes_port(self, sim):
+        hub = Sink(sim, "hub")
+        spokes = [Sink(sim, f"s{i}") for i in range(3)]
+        for spoke in spokes:
+            Link(sim, hub.add_port(), spoke.add_port(), latency=1e-6)
+        sent = hub.flood(make_frame(), exclude=hub.ports[0])
+        sim.run()
+        assert sent == 2
+        assert len(spokes[0].received) == 0
+        assert len(spokes[1].received) == 1
+
+    def test_send_unattached_is_noop(self, sim):
+        lonely = Sink(sim, "l")
+        lonely.add_port().send(make_frame())
+        sim.run()  # nothing scheduled, nothing crashes
+
+    def test_hop_recording_when_enabled(self):
+        sim = Simulator(seed=0, trace_hops=True)
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        Link(sim, a.add_port(), b.add_port(), latency=1e-6)
+        a.ports[0].send(make_frame())
+        sim.run()
+        assert b.received[0][2].path_nodes() == ["b"]

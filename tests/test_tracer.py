@@ -1,0 +1,76 @@
+"""Tests for frame-level tracing."""
+
+import pytest
+
+from repro.netsim.tracer import (DELIVERED, DROP_QUEUE, SENT, TraceRecord,
+                                 Tracer)
+
+
+def rec(tracer, kind, link="l0", uid=1, ethertype=0x0800, size=64):
+    tracer.record(kind, 0.0, link, uid, ethertype, size, "a", "b")
+
+
+class TestCounters:
+    def test_counts_by_kind(self):
+        tracer = Tracer()
+        rec(tracer, SENT)
+        rec(tracer, SENT)
+        rec(tracer, DELIVERED)
+        assert tracer.frames_sent == 2
+        assert tracer.frames_delivered == 1
+
+    def test_counts_by_ethertype(self):
+        tracer = Tracer()
+        rec(tracer, SENT, ethertype=0x0806)
+        rec(tracer, SENT, ethertype=0x0800)
+        assert tracer.count(SENT, 0x0806) == 1
+        assert tracer.count(SENT) == 2
+
+    def test_dropped_aggregates(self):
+        tracer = Tracer()
+        rec(tracer, DROP_QUEUE)
+        assert tracer.frames_dropped == 1
+
+    def test_reset(self):
+        tracer = Tracer()
+        rec(tracer, SENT)
+        tracer.reset()
+        assert tracer.frames_sent == 0
+        assert tracer.records == []
+
+
+class TestRecords:
+    def test_records_kept_by_default(self):
+        tracer = Tracer()
+        rec(tracer, SENT)
+        assert len(tracer.records) == 1
+        assert isinstance(tracer.records[0], TraceRecord)
+
+    def test_records_disabled(self):
+        tracer = Tracer(keep_records=False)
+        rec(tracer, SENT)
+        assert tracer.records == []
+        assert tracer.frames_sent == 1  # counters still work
+
+    def test_deliveries_for(self):
+        tracer = Tracer()
+        rec(tracer, DELIVERED, uid=7)
+        rec(tracer, DELIVERED, uid=8)
+        rec(tracer, SENT, uid=7)
+        assert len(tracer.deliveries_for(7)) == 1
+
+    def test_link_load_bytes(self):
+        tracer = Tracer()
+        rec(tracer, SENT, link="x", size=100)
+        rec(tracer, SENT, link="x", size=50)
+        rec(tracer, SENT, link="y", size=10)
+        rec(tracer, DELIVERED, link="x", size=100)  # not counted
+        assert tracer.link_load_bytes() == {"x": 150, "y": 10}
+
+    def test_listener_invoked(self):
+        tracer = Tracer(keep_records=False)
+        seen = []
+        tracer.add_listener(seen.append)
+        rec(tracer, SENT)
+        assert len(seen) == 1
+        assert seen[0].kind == SENT
