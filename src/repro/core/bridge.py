@@ -42,13 +42,15 @@ from repro.frames.control import ArpPathControl, HELLO_MULTICAST
 from repro.frames.ethernet import (ETHERTYPE_ARP, ETHERTYPE_ARPPATH,
                                    EthernetFrame)
 from repro.frames.mac import BROADCAST, MAC
-from repro.netsim.engine import PRIORITY_LATE, Simulator
+from repro.netsim.engine import Simulator
 from repro.netsim.node import Port
-from repro.switching.base import Bridge
+from repro.switching.base import Bridge, Dataplane
 
-#: How often the bridge sweeps expired table entries (housekeeping only;
-#: correctness never depends on the sweep because lookups reap lazily).
-EXPIRY_SWEEP_INTERVAL = 1.0
+#: The ARP-Path classification pipeline: control frames are ARP-Path
+#: control messages on their experimental ethertype; everything else is
+#: classified by the shared dataplane ladder.
+ARPPATH_DATAPLANE = Dataplane(control_ethertypes=(ETHERTYPE_ARPPATH,),
+                              control_payload=ArpPathControl)
 
 
 @dataclass
@@ -89,13 +91,16 @@ class ArpPathBridge(Bridge):
         Protocol knobs; see :class:`repro.core.config.ArpPathConfig`.
     """
 
+    dataplane = ARPPATH_DATAPLANE
+
     def __init__(self, sim: Simulator, name: str, mac: MAC,
                  config: ArpPathConfig = DEFAULT_CONFIG):
         super().__init__(sim, name, mac)
         self.config = config
         self.table = LockedAddressTable(lock_timeout=config.lock_timeout,
                                         learnt_timeout=config.learnt_timeout,
-                                        guard_timeout=config.guard_timeout)
+                                        guard_timeout=config.guard_timeout,
+                                        sim=sim)
         self.repair = RepairManager(buffer_size=config.repair_buffer_size,
                                     retry_budget=config.repair_retries)
         self.proxy: Optional[ArpProxy] = (
@@ -110,7 +115,6 @@ class ArpPathBridge(Bridge):
         self._hello_seq = 0
         self._control_seq = 0
         self._hello_timer = None
-        self._sweep_timer = None
 
     # -- port roles ------------------------------------------------------
 
@@ -152,18 +156,11 @@ class ArpPathBridge(Bridge):
             self._send_hellos()
             self._hello_timer = self.sim.schedule_periodic(
                 self.config.hello_interval, self._send_hellos)
-        self._sweep_timer = self.sim.schedule_periodic(
-            EXPIRY_SWEEP_INTERVAL, self._sweep)
 
     def stop(self) -> None:
         """Stop periodic processes (used when tearing a bridge down)."""
         if self._hello_timer is not None:
             self._hello_timer.stop()
-        if self._sweep_timer is not None:
-            self._sweep_timer.stop()
-
-    def _sweep(self) -> None:
-        self.table.expire(self.sim.now)
 
     def _send_hellos(self) -> None:
         self._hello_seq += 1
@@ -194,25 +191,11 @@ class ArpPathBridge(Bridge):
         self._control_seq += 1
         return self._control_seq
 
-    # -- frame dispatch ------------------------------------------------------
+    # -- dataplane admission ----------------------------------------------
 
-    def handle_frame(self, port: Port, frame: EthernetFrame) -> None:
-        self.counters.received += 1
-        if frame.src == self.mac:
-            return
-        if frame.ethertype == ETHERTYPE_ARPPATH \
-                and isinstance(frame.payload, ArpPathControl):
-            self._handle_control(port, frame)
-            return
-        if frame.ethertype == ETHERTYPE_ARP \
-                and isinstance(frame.payload, ArpPacket) \
-                and frame.is_multicast:
-            self._handle_arp_discovery(port, frame)
-            return
-        if frame.is_multicast:
-            self._handle_other_broadcast(port, frame)
-            return
-        self._handle_unicast(port, frame)
+    def admit_frame(self, port: Port, frame: EthernetFrame) -> bool:
+        """Copies of our own control floods returning over loops die here."""
+        return frame.src != self.mac
 
     # -- discovery (paper §2.1.1) ----------------------------------------
 
@@ -246,7 +229,7 @@ class ArpPathBridge(Bridge):
         self.table.lock(src, port, now)
         return True
 
-    def _handle_arp_discovery(self, port: Port, frame: EthernetFrame) -> None:
+    def on_arp(self, port: Port, frame: EthernetFrame) -> None:
         """A broadcast ARP frame: the path-discovery race probe."""
         self.apc.discovery_frames += 1
         pkt: ArpPacket = frame.payload
@@ -272,8 +255,7 @@ class ArpPathBridge(Bridge):
 
     # -- non-discovery broadcast (paper §2.1.3) ----------------------------
 
-    def _handle_other_broadcast(self, port: Port,
-                                frame: EthernetFrame) -> None:
+    def on_broadcast(self, port: Port, frame: EthernetFrame) -> None:
         """Loop-free flooding of broadcast/multicast data frames.
 
         Frames from a source are accepted only at the port that received
@@ -294,7 +276,7 @@ class ArpPathBridge(Bridge):
 
     # -- unicast data plane (paper §2.1.2) --------------------------------
 
-    def _handle_unicast(self, port: Port, frame: EthernetFrame) -> None:
+    def on_unicast(self, port: Port, frame: EthernetFrame) -> None:
         now = self.sim.now
         # The frame's source travelled to here: establish/confirm the
         # reverse direction in LEARNT state.
@@ -447,7 +429,7 @@ class ArpPathBridge(Bridge):
 
     # -- control-plane receive -------------------------------------------
 
-    def _handle_control(self, port: Port, frame: EthernetFrame) -> None:
+    def on_control(self, port: Port, frame: EthernetFrame) -> None:
         self.counters.control_received += 1
         ctl: ArpPathControl = frame.payload
         if ctl.is_hello:

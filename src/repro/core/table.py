@@ -17,16 +17,26 @@ an entry here answers two different questions:
 Non-path broadcasts (§2.1.3) are filtered by separate short-lived
 *guard* entries that never serve unicast lookups and never create
 paths.
+
+Both entry kinds age through a shared :class:`repro.netsim.aging
+.AgingStore`: lookups reap lazily (the correctness mechanism — no
+behaviour may depend on when memory is reclaimed) and, when the table
+is built with a simulator, expired entries are reclaimed promptly by
+timer-wheel timers instead of a periodic sweep.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.frames.mac import MAC
+from repro.netsim.aging import AgingStore
 from repro.netsim.node import Port
+
+if TYPE_CHECKING:
+    from repro.netsim.engine import Simulator
 
 
 class EntryState(enum.Enum):
@@ -70,6 +80,14 @@ class PathEntry:
 
 
 @dataclass
+class GuardEntry:
+    """A broadcast first-arrival guard (paper §2.1.3); never a path."""
+
+    port: Port
+    expires: float
+
+
+@dataclass
 class TableCounters:
     locks: int = 0
     relocks: int = 0
@@ -82,29 +100,30 @@ class TableCounters:
 
 
 class LockedAddressTable:
-    """MAC → (port, state) with the ARP-Path locking semantics."""
+    """MAC → (port, state) with the ARP-Path locking semantics.
+
+    Pass the owning *sim* to let the engine's timer wheel reclaim
+    expired entries; without one the table works standalone with lazy
+    reaping plus the explicit :meth:`expire` sweep.
+    """
 
     def __init__(self, lock_timeout: float, learnt_timeout: float,
-                 guard_timeout: float):
+                 guard_timeout: float, sim: Optional["Simulator"] = None):
         self.lock_timeout = lock_timeout
         self.learnt_timeout = learnt_timeout
         self.guard_timeout = guard_timeout
-        self._entries: Dict[MAC, PathEntry] = {}
-        self._guards: Dict[MAC, Tuple[Port, float]] = {}
         self.counters = TableCounters()
+        self._entries = AgingStore(sim, on_reap=self._note_expiry)
+        self._guards = AgingStore(sim)
+
+    def _note_expiry(self, mac: MAC, entry: PathEntry) -> None:
+        self.counters.expiries += 1
 
     # -- path entries ----------------------------------------------------
 
     def get(self, mac: MAC, now: float) -> Optional[PathEntry]:
         """The live entry for *mac*, or None (expired entries are reaped)."""
-        entry = self._entries.get(mac)
-        if entry is None:
-            return None
-        if entry.expires <= now:
-            del self._entries[mac]
-            self.counters.expiries += 1
-            return None
-        return entry
+        return self._entries.get(mac, now)
 
     def lock(self, mac: MAC, port: Port, now: float) -> PathEntry:
         """Lock *mac* to *port* (first copy of a discovery broadcast).
@@ -120,8 +139,7 @@ class LockedAddressTable:
         entry = PathEntry(mac=mac, port=port, state=EntryState.LOCKED,
                           created=now, expires=now + self.lock_timeout,
                           race_until=now + self.lock_timeout)
-        self._entries[mac] = entry
-        return entry
+        return self._entries.put(mac, entry)
 
     def learn(self, mac: MAC, port: Port, now: float) -> PathEntry:
         """Learn/refresh *mac* on *port* in LEARNT state (unicast source).
@@ -145,8 +163,7 @@ class LockedAddressTable:
                           created=existing.created if existing else now,
                           expires=now + self.learnt_timeout,
                           race_until=existing.race_until if existing else 0.0)
-        self._entries[mac] = entry
-        return entry
+        return self._entries.put(mac, entry)
 
     def confirm(self, mac: MAC, now: float) -> Optional[PathEntry]:
         """Upgrade a LOCKED entry to LEARNT (unicast travelled the path).
@@ -178,39 +195,29 @@ class LockedAddressTable:
 
     def remove(self, mac: MAC) -> bool:
         """Erase the entry for *mac* (PathFail handling). True if present."""
-        return self._entries.pop(mac, None) is not None
+        return self._entries.pop(mac) is not None
 
     # -- broadcast guards --------------------------------------------------
 
     def guard_port(self, mac: MAC, now: float) -> Optional[Port]:
         """The accept-port for non-path broadcasts from *mac*, if any."""
-        guard = self._guards.get(mac)
-        if guard is None:
-            return None
-        port, expires = guard
-        if expires <= now:
-            del self._guards[mac]
-            return None
-        return port
+        guard = self._guards.get(mac, now)
+        return guard.port if guard is not None else None
 
     def set_guard(self, mac: MAC, port: Port, now: float) -> None:
         """Guard broadcasts from *mac* to *port* for guard_timeout."""
-        self._guards[mac] = (port, now + self.guard_timeout)
+        self._guards.put(mac, GuardEntry(port=port,
+                                         expires=now + self.guard_timeout))
 
     # -- maintenance ---------------------------------------------------------
 
     def flush_port(self, port: Port) -> int:
         """Erase every entry and guard on *port* (carrier lost)."""
-        stale = [mac for mac, entry in self._entries.items()
-                 if entry.port is port]
-        for mac in stale:
-            del self._entries[mac]
-        self.counters.port_flushes += len(stale)
-        stale_guards = [mac for mac, (gport, _exp) in self._guards.items()
-                        if gport is port]
-        for mac in stale_guards:
-            del self._guards[mac]
-        return len(stale)
+        flushed = self._entries.pop_matching(
+            lambda mac, entry: entry.port is port)
+        self.counters.port_flushes += flushed
+        self._guards.pop_matching(lambda mac, guard: guard.port is port)
+        return flushed
 
     def flush(self) -> None:
         self._entries.clear()
@@ -218,37 +225,26 @@ class LockedAddressTable:
 
     def expire(self, now: float) -> int:
         """Reap every expired entry (lazy reaping happens on access too)."""
-        stale = [mac for mac, entry in self._entries.items()
-                 if entry.expires <= now]
-        for mac in stale:
-            del self._entries[mac]
-        self.counters.expiries += len(stale)
-        stale_guards = [mac for mac, (_port, expires) in self._guards.items()
-                        if expires <= now]
-        for mac in stale_guards:
-            del self._guards[mac]
-        return len(stale)
+        stale = self._entries.reap(now)
+        self._guards.reap(now)
+        return stale
 
     def entries(self, now: Optional[float] = None) -> List[PathEntry]:
         """All entries, filtered to live ones when *now* is given."""
         if now is None:
             return list(self._entries.values())
-        return [entry for entry in self._entries.values()
-                if entry.expires > now]
+        return list(self._entries.live_values(now))
 
     def occupancy(self, now: float) -> Dict[str, int]:
         """Live entry counts by state (table-size experiments)."""
         locked = learnt = 0
-        for entry in self._entries.values():
-            if entry.expires <= now:
-                continue
+        for entry in self._entries.live_values(now):
             if entry.is_locked:
                 locked += 1
             else:
                 learnt += 1
         return {"locked": locked, "learnt": learnt,
-                "guards": sum(1 for _p, exp in self._guards.values()
-                              if exp > now)}
+                "guards": self._guards.live_count(now)}
 
     def __len__(self) -> int:
         return len(self._entries)

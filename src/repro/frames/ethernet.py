@@ -63,12 +63,20 @@ class EthernetFrame:
     payload: Any = b""
     uid: int = field(default_factory=lambda: next(_uid_counter))
     trace: List[Hop] = field(default_factory=list)
+    #: Cached on-wire size; payloads are immutable once attached, so the
+    #: size is computed once and shared with clones.
+    _wire_size: Optional[int] = field(default=None, repr=False,
+                                      compare=False)
 
     @property
     def wire_size(self) -> int:
         """Total on-wire size: header + payload + FCS, zero-padded to 64."""
-        size = ETH_HEADER_LEN + payload_size(self.payload) + ETH_FCS_LEN
-        return max(size, ETH_MIN_FRAME)
+        size = self._wire_size
+        if size is None:
+            size = max(ETH_HEADER_LEN + payload_size(self.payload)
+                       + ETH_FCS_LEN, ETH_MIN_FRAME)
+            self._wire_size = size
+        return size
 
     @property
     def is_broadcast(self) -> bool:
@@ -90,7 +98,8 @@ class EthernetFrame:
         """
         return EthernetFrame(dst=self.dst, src=self.src,
                              ethertype=self.ethertype, payload=self.payload,
-                             uid=self.uid, trace=list(self.trace))
+                             uid=self.uid, trace=list(self.trace),
+                             _wire_size=self._wire_size)
 
     def with_payload(self, payload: Any) -> "EthernetFrame":
         """A copy (same uid/trace) carrying a different payload.

@@ -1,9 +1,25 @@
 """The discrete-event simulation engine.
 
-A deterministic heap-based scheduler: events fire in (time, priority,
-sequence) order, so two runs with the same seed replay identically —
-which the ARP-Path tests rely on, because path selection is literally a
-race between flooded frame copies.
+Two scheduling structures cooperate behind one deterministic clock:
+
+* **Event heap** — the primary queue. Events fire in (time, priority,
+  sequence) order, so two runs with the same seed replay identically —
+  which the ARP-Path tests rely on, because path selection is literally
+  a race between flooded frame copies.
+* **Timer wheel** (:class:`TimerWheel`) — a two-level hierarchical
+  wheel for the high-volume, frequently-cancelled short timers (table
+  entry expiry, broadcast guards, hello holds). Wheel timers are bucketed
+  by coarse time slot and only *poured* into the heap just before their
+  bucket's window executes; a timer cancelled early therefore costs O(1)
+  and never touches the heap at all. Pouring happens strictly before any
+  event at or past the bucket's window fires, so the global
+  (time, priority, sequence) order — and with it determinism — is
+  preserved exactly as if every timer had been heap-scheduled.
+
+The engine also keeps an O(1) :attr:`Simulator.pending_events` counter
+(maintained incrementally on schedule/fire/cancel) and offers
+:meth:`Simulator.schedule_bulk` for batched workload injection (one
+O(n) heapify instead of n heap pushes).
 """
 
 from __future__ import annotations
@@ -11,7 +27,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.netsim.errors import SchedulingError
 from repro.netsim.tracer import Tracer
@@ -19,38 +35,186 @@ from repro.netsim.tracer import Tracer
 #: Priority for ordinary data-plane events.
 PRIORITY_NORMAL = 0
 #: Priority for control-plane housekeeping that must run after the data
-#: plane at the same instant (e.g. table expiry sweeps).
+#: plane at the same instant (e.g. table entry reclamation).
 PRIORITY_LATE = 10
 #: Priority for events that must precede the data plane at the same
 #: instant (e.g. carrier-loss notifications).
 PRIORITY_EARLY = -10
 
+_INF = float("inf")
+
 
 class Event:
     """A scheduled callback. Returned by :meth:`Simulator.schedule`."""
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled",
+                 "_sim")
 
     def __init__(self, time: float, priority: int, seq: int,
-                 callback: Callable[..., Any], args: tuple):
+                 callback: Callable[..., Any], args: tuple,
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.priority = priority
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing (idempotent)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self._sim
+            if sim is not None:
+                # The simulator clears its reference once the event has
+                # fired, so a live reference means the event still counts
+                # as pending.
+                sim._pending -= 1
+                self._sim = None
 
     def __lt__(self, other: "Event") -> bool:
-        return ((self.time, self.priority, self.seq)
-                < (other.time, other.priority, other.seq))
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
     def __repr__(self) -> str:
         state = "cancelled" if self.cancelled else "pending"
         return f"<Event t={self.time:.9f} prio={self.priority} {state}>"
+
+
+class TimerWheel:
+    """A two-level hierarchical timer wheel feeding the event heap.
+
+    Timers land in *fine* buckets of ``resolution`` seconds when they
+    are due within one wheel span (``resolution * slots``), otherwise in
+    *coarse* buckets one span wide. As the clock approaches a bucket,
+    coarse buckets cascade into fine ones and fine buckets pour their
+    surviving timers into the simulator's heap, which restores the exact
+    (time, priority, sequence) order.
+
+    The payoff is the cancellation pattern of aging timers: an entry
+    that is refreshed before it expires cancels its timer with a flag
+    write — no heap traffic, no O(log n) anything. Only timers that
+    actually come due ever reach the heap.
+    """
+
+    __slots__ = ("resolution", "span", "_fine", "_coarse", "_size",
+                 "_next_due")
+
+    def __init__(self, resolution: float = 0.25, slots: int = 64):
+        if resolution <= 0:
+            raise SchedulingError(
+                f"wheel resolution must be > 0: {resolution}")
+        if slots < 1:
+            raise SchedulingError(f"wheel needs at least one slot: {slots}")
+        self.resolution = resolution
+        self.span = resolution * slots
+        self._fine: Dict[int, List[Event]] = {}
+        self._coarse: Dict[int, List[Event]] = {}
+        #: Timers held (including cancelled ones not yet reaped).
+        self._size = 0
+        #: Earliest bucket start time, or inf when empty.
+        self._next_due = _INF
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def next_due(self) -> float:
+        """Start of the earliest non-empty bucket (inf when empty)."""
+        return self._next_due
+
+    @staticmethod
+    def _slot_for(time: float, width: float) -> int:
+        """The bucket index for *time*, guaranteeing start <= time.
+
+        Plain ``int(time / width)`` can round the quotient up when the
+        boundary is not exactly representable (e.g. 1.7 / 0.1 == 17.0,
+        but 17 * 0.1 > 1.7), which would file a timer in a bucket that
+        starts after its own fire time — and pour() would then skip it
+        at its exact deadline, breaking the global event order. Clamp
+        the index down so every bucket contains only timers at or after
+        its start.
+        """
+        slot = int(time / width)
+        if slot * width > time:
+            slot -= 1
+        return slot
+
+    def insert(self, event: Event, now: float) -> None:
+        """File *event* into the wheel (no heap interaction)."""
+        if event.time - now < self.span:
+            slot = self._slot_for(event.time, self.resolution)
+            start = slot * self.resolution
+            bucket = self._fine.get(slot)
+            if bucket is None:
+                self._fine[slot] = [event]
+            else:
+                bucket.append(event)
+        else:
+            slot = self._slot_for(event.time, self.span)
+            start = slot * self.span
+            bucket = self._coarse.get(slot)
+            if bucket is None:
+                self._coarse[slot] = [event]
+            else:
+                bucket.append(event)
+        self._size += 1
+        if start < self._next_due:
+            self._next_due = start
+
+    def pour(self, horizon: float, queue: List[Event]) -> None:
+        """Move every timer that could fire by *horizon* into *queue*.
+
+        Buckets whose window starts at or before *horizon* are drained;
+        cancelled timers are discarded, live ones are heap-pushed so the
+        caller sees them in exact global order. Coarse buckets cascade
+        into fine buckets (or the heap) on the way.
+        """
+        resolution = self.resolution
+        if self._coarse:
+            span = self.span
+            for slot in [s for s in self._coarse if s * span <= horizon]:
+                for event in self._coarse.pop(slot):
+                    if event.cancelled:
+                        self._size -= 1
+                        continue
+                    fine_slot = self._slot_for(event.time, resolution)
+                    if fine_slot * resolution <= horizon:
+                        self._size -= 1
+                        heapq.heappush(queue, event)
+                    else:
+                        self._fine.setdefault(fine_slot, []).append(event)
+        if self._fine:
+            for slot in [s for s in self._fine if s * resolution <= horizon]:
+                for event in self._fine.pop(slot):
+                    self._size -= 1
+                    if not event.cancelled:
+                        heapq.heappush(queue, event)
+        self._recompute_next_due()
+
+    def _recompute_next_due(self) -> None:
+        due = _INF
+        if self._fine:
+            due = min(self._fine) * self.resolution
+        if self._coarse:
+            coarse_due = min(self._coarse) * self.span
+            if coarse_due < due:
+                due = coarse_due
+        self._next_due = due
+
+    def _iter_events(self) -> Iterable[Event]:
+        for bucket in self._fine.values():
+            yield from bucket
+        for bucket in self._coarse.values():
+            yield from bucket
+
+    def __repr__(self) -> str:
+        return (f"<TimerWheel size={self._size} "
+                f"next_due={self._next_due:.3f}>")
 
 
 class Periodic:
@@ -105,18 +269,23 @@ class Simulator:
     trace_hops:
         When true, frames accumulate per-hop trace records as they
         traverse nodes (used by path-measurement experiments).
+    wheel_resolution / wheel_slots:
+        Geometry of the timer wheel serving :meth:`schedule_timer`.
     """
 
     def __init__(self, seed: int = 0, trace_hops: bool = False,
-                 keep_trace_records: bool = True):
+                 keep_trace_records: bool = True,
+                 wheel_resolution: float = 0.25, wheel_slots: int = 64):
         self._queue: List[Event] = []
         self._seq = itertools.count()
         self._now = 0.0
-        self._running = False
+        self._pending = 0
         self.rng = random.Random(seed)
         self.trace_hops = trace_hops
         self.tracer = Tracer(keep_records=keep_trace_records)
         self.events_processed = 0
+        self.wheel = TimerWheel(resolution=wheel_resolution,
+                                slots=wheel_slots)
 
     @property
     def now(self) -> float:
@@ -131,8 +300,9 @@ class Simulator:
         if delay < 0:
             raise SchedulingError(f"cannot schedule in the past: {delay}")
         event = Event(self._now + delay, priority, next(self._seq),
-                      callback, args)
+                      callback, args, self)
         heapq.heappush(self._queue, event)
+        self._pending += 1
         return event
 
     def at(self, time: float, callback: Callable[..., Any], *args: Any,
@@ -141,8 +311,29 @@ class Simulator:
         if time < self._now:
             raise SchedulingError(
                 f"cannot schedule at {time} (now is {self._now})")
-        event = Event(time, priority, next(self._seq), callback, args)
+        event = Event(time, priority, next(self._seq), callback, args, self)
         heapq.heappush(self._queue, event)
+        self._pending += 1
+        return event
+
+    def schedule_timer(self, delay: float, callback: Callable[..., Any],
+                       *args: Any, priority: int = PRIORITY_LATE) -> Event:
+        """Schedule a wheel-managed timer *delay* seconds from now.
+
+        Semantically identical to :meth:`schedule` — same determinism,
+        same :class:`Event` handle — but filed on the timer wheel, which
+        makes it the right call for short timers that are usually
+        cancelled or re-armed before they fire (table aging, guard
+        windows, protocol holds). Timers default to
+        :data:`PRIORITY_LATE` so same-instant data-plane events run
+        first.
+        """
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule in the past: {delay}")
+        event = Event(self._now + delay, priority, next(self._seq),
+                      callback, args, self)
+        self.wheel.insert(event, self._now)
+        self._pending += 1
         return event
 
     def call_soon(self, callback: Callable[..., Any], *args: Any,
@@ -159,19 +350,59 @@ class Simulator:
         """
         return Periodic(self, interval, callback, args, jitter)
 
+    def schedule_bulk(self, specs: Iterable[Sequence],
+                      priority: int = PRIORITY_NORMAL) -> List[Event]:
+        """Schedule a batch of callbacks in one shot.
+
+        *specs* is an iterable of ``(delay, callback, *args)`` tuples.
+        The whole batch is appended and heapified once — O(n + q) for n
+        new events on a queue of q — instead of n individual O(log q)
+        pushes, which is what bulk workload injection (traffic matrices,
+        benchmark frame trains) wants. Returns the created events in
+        input order.
+        """
+        now = self._now
+        take_seq = self._seq
+        events: List[Event] = []
+        for spec in specs:
+            delay = spec[0]
+            if delay < 0:
+                raise SchedulingError(f"cannot schedule in the past: {delay}")
+            events.append(Event(now + delay, priority, next(take_seq),
+                                spec[1], tuple(spec[2:]), self))
+        if events:
+            self._queue.extend(events)
+            heapq.heapify(self._queue)
+            self._pending += len(events)
+        return events
+
     # -- execution -----------------------------------------------------------
 
     def step(self) -> bool:
         """Run the next pending event. Returns False when none remain."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        wheel = self.wheel
+        while True:
+            if wheel._size:
+                horizon = queue[0].time if queue else wheel._next_due
+                if wheel._next_due <= horizon:
+                    wheel.pour(horizon, queue)
+                    if not queue:
+                        # Pour made level-to-level progress (cascade or
+                        # cancelled-timer discard) without reaching the
+                        # heap; retry at the advanced next_due.
+                        continue
+            if not queue:
+                return False
+            event = heapq.heappop(queue)
             if event.cancelled:
                 continue
             self._now = event.time
             self.events_processed += 1
+            self._pending -= 1
+            event._sim = None
             event.callback(*event.args)
             return True
-        return False
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
@@ -182,19 +413,42 @@ class Simulator:
         even if the queue drained earlier, so periodic processes see a
         consistent end time.
         """
+        # Hot loop: local bindings avoid repeated attribute lookups, the
+        # wheel is consulted with one float compare per iteration, and
+        # events fire without any per-event allocation.
+        queue = self._queue
+        wheel = self.wheel
+        heappop = heapq.heappop
         fired = 0
-        while self._queue:
-            event = self._queue[0]
+        while True:
+            if wheel._size:
+                horizon = queue[0].time if queue else wheel._next_due
+                if until is not None and horizon > until:
+                    # Don't drag far-future wheel timers into the heap
+                    # just because this slice ends: they would lose the
+                    # wheel's O(1) cancellation.
+                    horizon = until
+                if wheel._next_due <= horizon:
+                    wheel.pour(horizon, queue)
+                    if not queue:
+                        # Cascade/discard progressed without reaching
+                        # the heap; retry at the advanced next_due.
+                        continue
+            if not queue:
+                break
+            event = queue[0]
             if event.cancelled:
-                heapq.heappop(self._queue)
+                heappop(queue)
                 continue
             if until is not None and event.time > until:
                 break
             if max_events is not None and fired >= max_events:
                 return
-            heapq.heappop(self._queue)
+            heappop(queue)
             self._now = event.time
             self.events_processed += 1
+            self._pending -= 1
+            event._sim = None
             event.callback(*event.args)
             fired += 1
         if until is not None and self._now < until:
@@ -206,9 +460,27 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of queued, non-cancelled events (O(n) — diagnostics)."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of queued, non-cancelled events — O(1).
+
+        Maintained incrementally: schedule/at/schedule_timer/
+        schedule_bulk increment, firing and :meth:`Event.cancel`
+        decrement. :meth:`audit_pending_events` cross-checks the counter
+        against a full scan.
+        """
+        return self._pending
+
+    def audit_pending_events(self) -> int:
+        """O(n) debug scan of the heap and wheel; asserts it matches the
+        incremental counter and returns the count."""
+        scanned = sum(1 for event in self._queue if not event.cancelled)
+        scanned += sum(1 for event in self.wheel._iter_events()
+                       if not event.cancelled)
+        assert scanned == self._pending, (
+            f"pending_events counter drifted: counted {scanned}, "
+            f"tracked {self._pending}")
+        return scanned
 
     def __repr__(self) -> str:
         return (f"<Simulator t={self._now:.6f} queued={len(self._queue)} "
+                f"wheel={self.wheel._size} "
                 f"processed={self.events_processed}>")

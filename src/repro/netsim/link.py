@@ -17,7 +17,7 @@ the first ARP copy to arrive travelled the lowest-latency path.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, Dict, List, Optional
 
 from repro.frames.ethernet import EthernetFrame
 from repro.netsim import tracer as trc
@@ -35,14 +35,18 @@ DEFAULT_QUEUE_CAPACITY = 64
 class _Direction:
     """Transmitter state for one direction of the link."""
 
-    __slots__ = ("queue", "busy", "pending", "tx_event")
+    __slots__ = ("queue", "busy", "pending", "tx_event", "queue_drops")
 
     def __init__(self, capacity: int):
+        # Capacity is enforced in Link.transmit (not via maxlen) so that
+        # overflow tail-drops are observable and counted.
         self.queue: Deque[EthernetFrame] = deque(maxlen=None)
         self.busy = False
         #: Delivery events in flight (cancelled if the link goes down).
         self.pending: List[Event] = []
         self.tx_event: Optional[Event] = None
+        #: Frames tail-dropped because the queue was full.
+        self.queue_drops = 0
 
 
 class Link:
@@ -104,6 +108,7 @@ class Link:
         direction = self._dirs[from_port]
         if direction.busy:
             if len(direction.queue) >= self.queue_capacity:
+                direction.queue_drops += 1
                 self._trace(trc.DROP_QUEUE, frame)
                 return
             direction.queue.append(frame)
@@ -176,12 +181,33 @@ class Link:
             self.sim.call_soon(port.node.link_state_changed, port, up,
                                priority=PRIORITY_EARLY)
 
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def queue_drops(self) -> Dict[str, int]:
+        """Tail-drop count per direction, keyed by the sending port name."""
+        return {port.name: direction.queue_drops
+                for port, direction in self._dirs.items()}
+
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-direction transmitter state, keyed by the sending port name.
+
+        Each direction reports its current queue depth, whether the
+        transmitter is busy, and the cumulative tail-drop count.
+        """
+        return {port.name: {"queued": len(direction.queue),
+                            "busy": direction.busy,
+                            "queue_drops": direction.queue_drops}
+                for port, direction in self._dirs.items()}
+
     # -- tracing ---------------------------------------------------------
 
     def _trace(self, kind: str, frame: EthernetFrame) -> None:
+        # MAC objects are passed through; the tracer stringifies them
+        # only when it materialises a record.
         self.sim.tracer.record(kind, self.sim.now, self.name, frame.uid,
                                frame.ethertype, frame.wire_size,
-                               str(frame.src), str(frame.dst))
+                               frame.src, frame.dst)
 
     def __repr__(self) -> str:
         state = "up" if self.up else "down"

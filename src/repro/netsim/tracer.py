@@ -50,14 +50,20 @@ class Tracer:
         self._listeners: List[Callable[[TraceRecord], None]] = []
 
     def record(self, kind: str, time: float, link: str, frame_uid: int,
-               ethertype: int, size: int, src: str, dst: str) -> None:
-        """Record one link-level event (called by links)."""
+               ethertype: int, size: int, src, dst) -> None:
+        """Record one link-level event (called by links).
+
+        *src*/*dst* may be MAC objects or strings; they are stringified
+        only when a record is actually materialised, which keeps the
+        counters-only fast path (``keep_records=False``, no listeners)
+        free of string formatting.
+        """
         self.counts[kind] += 1
         self.by_ethertype[kind][ethertype] += 1
         if self.keep_records or self._listeners:
             rec = TraceRecord(kind=kind, time=time, link=link,
                               frame_uid=frame_uid, ethertype=ethertype,
-                              size=size, src=src, dst=dst)
+                              size=size, src=str(src), dst=str(dst))
             if self.keep_records:
                 self.records.append(rec)
             for listener in self._listeners:

@@ -22,13 +22,16 @@ from repro.netsim.engine import Simulator
 from repro.netsim.node import Port
 from repro.spb.lsp import (Adjacency, LinkStatePacket, SPB_MULTICAST,
                            SpbHello)
-from repro.switching.base import Bridge
+from repro.switching.base import Bridge, Dataplane
 
 DEFAULT_HELLO_INTERVAL = 1.0
 DEFAULT_HELLO_HOLD = 3.5
 DEFAULT_LSP_REFRESH = 10.0
 DEFAULT_LSP_MAX_AGE = 60.0
 DEFAULT_HOST_AGING = 300.0
+
+#: The SPB pipeline: link-state frames (hellos + LSPs) are control.
+SPB_DATAPLANE = Dataplane(control_ethertypes=(ETHERTYPE_LSP,))
 
 
 @dataclass
@@ -55,6 +58,8 @@ class _SpfResult:
 
 class SpbBridge(Bridge):
     """A bridge running a link-state shortest-path control plane."""
+
+    dataplane = SPB_DATAPLANE
 
     def __init__(self, sim: Simulator, name: str, mac: MAC,
                  hello_interval: float = DEFAULT_HELLO_INTERVAL,
@@ -320,21 +325,17 @@ class SpbBridge(Bridge):
 
     # -- data plane ----------------------------------------------------------
 
-    def handle_frame(self, port: Port, frame: EthernetFrame) -> None:
-        self.counters.received += 1
-        if frame.ethertype == ETHERTYPE_LSP:
-            payload = frame.payload
-            if isinstance(payload, SpbHello):
-                self._handle_hello(port, payload)
-            elif isinstance(payload, LinkStatePacket):
-                self._handle_lsp(port, payload)
-            return
+    def on_control(self, port: Port, frame: EthernetFrame) -> None:
+        payload = frame.payload
+        if isinstance(payload, SpbHello):
+            self._handle_hello(port, payload)
+        elif isinstance(payload, LinkStatePacket):
+            self._handle_lsp(port, payload)
+
+    def admit_data(self, port: Port, frame: EthernetFrame) -> bool:
         if self.is_host_port(port):
             self._learn_local_host(frame.src, port)
-        if frame.is_multicast:
-            self._forward_broadcast(port, frame)
-        else:
-            self._forward_unicast(port, frame)
+        return True
 
     def _learn_local_host(self, mac: MAC, port: Port) -> None:
         if mac.is_multicast:
@@ -344,7 +345,7 @@ class SpbBridge(Bridge):
         if known is None or known[0] is not port:
             self._originate_lsp()
 
-    def _forward_unicast(self, port: Port, frame: EthernetFrame) -> None:
+    def on_unicast(self, port: Port, frame: EthernetFrame) -> None:
         local = self._local_hosts.get(frame.dst)
         if local is not None and local[1] > self.sim.now:
             if local[0] is port:
@@ -364,7 +365,7 @@ class SpbBridge(Bridge):
             return
         self.forward(out_port, frame)
 
-    def _forward_broadcast(self, port: Port, frame: EthernetFrame) -> None:
+    def on_broadcast(self, port: Port, frame: EthernetFrame) -> None:
         """Forward along the per-source shortest path tree.
 
         The tree is rooted at the source host's attachment bridge; we

@@ -31,11 +31,14 @@ from repro.netsim.node import Port
 from repro.stp.bpdu import (BridgeId, ConfigBpdu, DEFAULT_BRIDGE_PRIORITY,
                             DEFAULT_PORT_PRIORITY, PATH_COST_1G, PortId,
                             PriorityVector, TcnBpdu)
-from repro.switching.base import Bridge
+from repro.switching.base import Bridge, Dataplane
 from repro.switching.table import ForwardingTable
 
 #: Standard increment added to message age at each hop.
 MESSAGE_AGE_INCREMENT = 1.0
+
+#: The 802.1D pipeline: BPDUs are control, everything else is data.
+STP_DATAPLANE = Dataplane(control_ethertypes=(ETHERTYPE_BPDU,))
 
 
 @dataclass(frozen=True)
@@ -153,6 +156,8 @@ class StpPortInfo:
 class StpBridge(Bridge):
     """A transparent learning bridge running 802.1D spanning tree."""
 
+    dataplane = STP_DATAPLANE
+
     def __init__(self, sim: Simulator, name: str, mac: MAC,
                  priority: int = DEFAULT_BRIDGE_PRIORITY,
                  timers: StpTimers = StpTimers(),
@@ -162,7 +167,7 @@ class StpBridge(Bridge):
         self.bid = BridgeId(priority, mac)
         self.timers = timers
         self.default_path_cost = path_cost
-        self.fdb = ForwardingTable(aging_time=fdb_aging)
+        self.fdb = ForwardingTable(aging_time=fdb_aging, sim=sim)
         self.stp_counters = StpCounters()
         self._port_info: Dict[int, StpPortInfo] = {}
         self.root_id = self.bid
@@ -233,26 +238,29 @@ class StpBridge(Bridge):
 
     # -- data plane ----------------------------------------------------------
 
-    def handle_frame(self, port: Port, frame: EthernetFrame) -> None:
-        self.counters.received += 1
-        if frame.ethertype == ETHERTYPE_BPDU:
-            self._handle_bpdu(port, frame)
-            return
+    def on_control(self, port: Port, frame: EthernetFrame) -> None:
+        self._handle_bpdu(port, frame)
+
+    def admit_data(self, port: Port, frame: EthernetFrame) -> bool:
+        """The 802.1D port-state gate: learn only in LEARNING or
+        FORWARDING, forward only in FORWARDING."""
         info = self.info_for(port)
         if not info.can_learn:
             self.stp_counters.discards_not_forwarding += 1
             self.filter_frame()
-            return
-        now = self.sim.now
-        self.fdb.learn(frame.src, port, now)
+            return False
+        self.fdb.learn(frame.src, port, self.sim.now)
         if not info.can_forward:
             self.stp_counters.discards_not_forwarding += 1
             self.filter_frame()
-            return
-        if frame.dst.is_multicast:
-            self._flood_forwarding(frame, exclude=port)
-            return
-        out_port = self.fdb.lookup(frame.dst, now)
+            return False
+        return True
+
+    def on_broadcast(self, port: Port, frame: EthernetFrame) -> None:
+        self._flood_forwarding(frame, exclude=port)
+
+    def on_unicast(self, port: Port, frame: EthernetFrame) -> None:
+        out_port = self.fdb.lookup(frame.dst, self.sim.now)
         if out_port is None:
             self._flood_forwarding(frame, exclude=port)
         elif out_port is port:

@@ -1,14 +1,100 @@
-"""Base class shared by every bridge implementation."""
+"""The shared bridge dataplane: one pipeline, four protocol families.
+
+Every bridge in the simulator — ARP-Path, SPB, STP and the plain
+learning switch — receives frames through the same
+:class:`Dataplane` pipeline. The pipeline classifies each frame exactly
+once into one of four classes and dispatches to overridable hooks, so a
+protocol implements *policy* (what to do with a class of frame) and
+never re-implements *classification*:
+
+======================  =====================================================
+frame class             hook
+======================  =====================================================
+control                 :meth:`Bridge.on_control` — the family's own
+                        protocol frames (ARP-Path control, BPDUs, LSPs),
+                        selected by ethertype (plus an optional payload
+                        type check)
+ARP discovery           :meth:`Bridge.on_arp` — multicast ARP frames
+                        carrying an :class:`~repro.frames.arp.ArpPacket`;
+                        defaults to :meth:`Bridge.on_broadcast` for
+                        families that treat ARP as ordinary broadcast
+broadcast/multicast     :meth:`Bridge.on_broadcast`
+unicast                 :meth:`Bridge.on_unicast`
+======================  =====================================================
+
+Two admission hooks bracket classification: :meth:`Bridge.admit_frame`
+runs before anything (ARP-Path drops its own frames here) and
+:meth:`Bridge.admit_data` runs after control dispatch but before the
+data hooks (STP applies its port-state gate and learns there, SPB
+learns local hosts). This mirrors the packet-in pipelines of
+event-driven SDN controllers: one classification ladder, per-protocol
+handlers.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import Iterable, Optional, Type
 
-from repro.frames.ethernet import EthernetFrame
+from repro.frames.arp import ArpPacket
+from repro.frames.ethernet import ETHERTYPE_ARP, EthernetFrame
 from repro.frames.mac import MAC
 from repro.netsim.engine import Simulator
 from repro.netsim.node import Node, Port
+
+
+class Dataplane:
+    """Frame classification shared by every bridge family.
+
+    One instance per protocol family (stateless, so a module-level
+    singleton): it knows which ethertype carries the family's control
+    frames and, optionally, which payload type those frames must carry
+    (ARP-Path requires an :class:`ArpPathControl`; a frame with the
+    control ethertype but a foreign payload falls through to the data
+    path, exactly like unknown traffic).
+    """
+
+    __slots__ = ("control_ethertypes", "control_payload")
+
+    def __init__(self, control_ethertypes: Iterable[int] = (),
+                 control_payload: Optional[Type] = None):
+        self.control_ethertypes = frozenset(control_ethertypes)
+        self.control_payload = control_payload
+
+    def is_control(self, frame: EthernetFrame) -> bool:
+        """Does *frame* carry this family's control protocol?"""
+        if frame.ethertype not in self.control_ethertypes:
+            return False
+        payload_type = self.control_payload
+        return payload_type is None or isinstance(frame.payload, payload_type)
+
+    @staticmethod
+    def is_arp_discovery(frame: EthernetFrame) -> bool:
+        """Is *frame* a broadcast/multicast ARP probe (a discovery race)?"""
+        return (frame.is_multicast and frame.ethertype == ETHERTYPE_ARP
+                and isinstance(frame.payload, ArpPacket))
+
+    def dispatch(self, bridge: "Bridge", port: Port,
+                 frame: EthernetFrame) -> None:
+        """Classify *frame* once and invoke the matching bridge hook."""
+        if not bridge.admit_frame(port, frame):
+            return
+        if self.is_control(frame):
+            bridge.on_control(port, frame)
+            return
+        if not bridge.admit_data(port, frame):
+            return
+        if self.is_arp_discovery(frame):
+            bridge.on_arp(port, frame)
+            return
+        if frame.is_multicast:
+            bridge.on_broadcast(port, frame)
+            return
+        bridge.on_unicast(port, frame)
+
+
+#: Pipeline for families without a control protocol (learning switch).
+DATA_ONLY_DATAPLANE = Dataplane()
 
 
 @dataclass
@@ -39,13 +125,59 @@ class Bridge(Node):
     """Common behaviour for all bridge types.
 
     Every bridge has a MAC identity (used for control protocols) and
-    data-plane counters. Subclasses implement :meth:`handle_frame`.
+    data-plane counters. Frames arrive through the shared
+    :class:`Dataplane` pipeline; subclasses set :attr:`dataplane` (a
+    class attribute) and implement the hooks below instead of
+    overriding :meth:`handle_frame`.
     """
+
+    #: The family's classification pipeline; subclasses override.
+    dataplane: Dataplane = DATA_ONLY_DATAPLANE
 
     def __init__(self, sim: Simulator, name: str, mac: MAC):
         super().__init__(sim, name)
         self.mac = mac
         self.counters = BridgeCounters()
+
+    # -- pipeline entry ----------------------------------------------------
+
+    def handle_frame(self, port: Port, frame: EthernetFrame) -> None:
+        self.counters.received += 1
+        self.dataplane.dispatch(self, port, frame)
+
+    # -- admission hooks ---------------------------------------------------
+
+    def admit_frame(self, port: Port, frame: EthernetFrame) -> bool:
+        """First gate: reject before any classification (default: accept)."""
+        return True
+
+    def admit_data(self, port: Port, frame: EthernetFrame) -> bool:
+        """Data gate: runs after control dispatch, before the data hooks.
+
+        The place for per-port forwarding-state checks and source
+        learning that applies to every data frame (default: accept).
+        """
+        return True
+
+    # -- classification hooks ----------------------------------------------
+
+    def on_control(self, port: Port, frame: EthernetFrame) -> None:
+        """A frame of the family's own control protocol (default: drop)."""
+
+    def on_arp(self, port: Port, frame: EthernetFrame) -> None:
+        """A multicast ARP probe. Families without special ARP handling
+        inherit broadcast behaviour."""
+        self.on_broadcast(port, frame)
+
+    def on_broadcast(self, port: Port, frame: EthernetFrame) -> None:
+        """A non-ARP broadcast/multicast data frame."""
+        raise NotImplementedError
+
+    def on_unicast(self, port: Port, frame: EthernetFrame) -> None:
+        """A unicast data frame."""
+        raise NotImplementedError
+
+    # -- data-plane helpers ------------------------------------------------
 
     def forward(self, out_port: Port, frame: EthernetFrame) -> None:
         """Send a data frame out of one specific port."""

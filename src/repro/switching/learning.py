@@ -16,21 +16,27 @@ from repro.switching.table import DEFAULT_AGING_TIME, ForwardingTable
 
 
 class LearningSwitch(Bridge):
-    """Learn source addresses; forward known unicast, flood the rest."""
+    """Learn source addresses; forward known unicast, flood the rest.
+
+    No control protocol: the inherited data-only dataplane routes every
+    frame to :meth:`on_broadcast`/:meth:`on_unicast` after the source
+    learning done in :meth:`admit_data`.
+    """
 
     def __init__(self, sim: Simulator, name: str, mac: MAC,
                  aging_time: float = DEFAULT_AGING_TIME):
         super().__init__(sim, name, mac)
-        self.fdb = ForwardingTable(aging_time=aging_time)
+        self.fdb = ForwardingTable(aging_time=aging_time, sim=sim)
 
-    def handle_frame(self, port: Port, frame: EthernetFrame) -> None:
-        self.counters.received += 1
-        now = self.sim.now
-        self.fdb.learn(frame.src, port, now)
-        if frame.dst.is_multicast:
-            self.flood_data(frame, exclude=port)
-            return
-        out_port = self.fdb.lookup(frame.dst, now)
+    def admit_data(self, port: Port, frame: EthernetFrame) -> bool:
+        self.fdb.learn(frame.src, port, self.sim.now)
+        return True
+
+    def on_broadcast(self, port: Port, frame: EthernetFrame) -> None:
+        self.flood_data(frame, exclude=port)
+
+    def on_unicast(self, port: Port, frame: EthernetFrame) -> None:
+        out_port = self.fdb.lookup(frame.dst, self.sim.now)
         if out_port is None:
             self.flood_data(frame, exclude=port)
         elif out_port is port:

@@ -4,15 +4,24 @@ Used by the plain learning switch and by the STP baseline's data plane.
 (The ARP-Path bridge has its own, different table — see
 :mod:`repro.core.table` — with the LOCKED/LEARNT semantics the paper
 introduces.)
+
+Aging runs on the shared :class:`repro.netsim.aging.AgingStore`
+substrate: lookups reap lazily, and with a simulator attached the
+engine's timer wheel reclaims expired entries — no periodic sweep, and
+no correctness dependency on reclamation timing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional, TYPE_CHECKING
 
 from repro.frames.mac import MAC
+from repro.netsim.aging import AgingStore
 from repro.netsim.node import Port
+
+if TYPE_CHECKING:
+    from repro.netsim.engine import Simulator
 
 DEFAULT_AGING_TIME = 300.0
 
@@ -30,37 +39,38 @@ class ForwardingTable:
 
     *aging_time* can be temporarily shortened (802.1D topology-change
     handling) with :meth:`set_aging` and restored with
-    :meth:`restore_aging`.
+    :meth:`restore_aging`. Pass *sim* to back the table with the
+    engine's timer wheel.
     """
 
-    def __init__(self, aging_time: float = DEFAULT_AGING_TIME):
+    def __init__(self, aging_time: float = DEFAULT_AGING_TIME,
+                 sim: Optional["Simulator"] = None):
         self.default_aging_time = aging_time
         self.aging_time = aging_time
-        self._entries: Dict[MAC, FdbEntry] = {}
+        self._entries = AgingStore(sim)
         self.learns = 0
         self.moves = 0
 
     def learn(self, mac: MAC, port: Port, now: float) -> None:
         """Associate *mac* with *port* (refreshing the age)."""
-        entry = self._entries.get(mac)
+        entry = self._entries.peek(mac)
         if entry is None:
             self.learns += 1
-        elif entry.port is not port:
+            self._entries.put(mac, FdbEntry(port=port,
+                                            expires=now + self.aging_time))
+            return
+        if entry.port is not port:
             self.moves += 1
-        self._entries[mac] = FdbEntry(port=port, expires=now + self.aging_time)
+            entry.port = port
+        entry.expires = now + self.aging_time
 
     def lookup(self, mac: MAC, now: float) -> Optional[Port]:
         """The port for *mac*, or None when unknown/expired."""
-        entry = self._entries.get(mac)
-        if entry is None:
-            return None
-        if entry.expires <= now:
-            del self._entries[mac]
-            return None
-        return entry.port
+        entry = self._entries.get(mac, now)
+        return entry.port if entry is not None else None
 
     def forget(self, mac: MAC) -> None:
-        self._entries.pop(mac, None)
+        self._entries.pop(mac)
 
     def flush(self) -> None:
         """Remove every entry."""
@@ -68,19 +78,12 @@ class ForwardingTable:
 
     def flush_port(self, port: Port) -> int:
         """Remove all entries pointing at *port*; returns how many."""
-        stale = [mac for mac, entry in self._entries.items()
-                 if entry.port is port]
-        for mac in stale:
-            del self._entries[mac]
-        return len(stale)
+        return self._entries.pop_matching(
+            lambda mac, entry: entry.port is port)
 
     def expire(self, now: float) -> int:
         """Drop entries whose age ran out; returns how many."""
-        stale = [mac for mac, entry in self._entries.items()
-                 if entry.expires <= now]
-        for mac in stale:
-            del self._entries[mac]
-        return len(stale)
+        return self._entries.reap(now)
 
     def set_aging(self, aging_time: float) -> None:
         """Temporarily change the aging time (new learns only)."""

@@ -1,0 +1,47 @@
+"""Shared test/bench helpers, importable as a real module.
+
+Historically these lived in ``tests/conftest.py`` and were imported
+with ``from conftest import ...`` — which resolves to whichever
+``conftest.py`` pytest put on ``sys.path`` first and breaks collection
+from the repository root. Living under :mod:`repro` makes them
+importable from tests, benchmarks and examples alike.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import ArpPathConfig
+from repro.frames.ipv4 import IPv4Address
+from repro.frames.mac import MAC
+from repro.topology.builder import Network
+
+
+def ping_once(net: Network, src: str, dst: str,
+              timeout: float = 2.0) -> Optional[float]:
+    """Ping from *src* to *dst*; returns the RTT or None on loss."""
+    rtts = []
+    source = net.host(src)
+    target = net.host(dst)
+    source.ping(target.ip, on_reply=lambda seq, rtt: rtts.append(rtt))
+    net.run(timeout)
+    return rtts[0] if rtts else None
+
+
+def mac(index: int) -> MAC:
+    """Shorthand: a unicast test MAC."""
+    return MAC(0x02_00_00_00_10_00 + index)
+
+
+def ip(index: int) -> IPv4Address:
+    """Shorthand: a test IP."""
+    return IPv4Address(0x0A000000 + 0x100 + index)
+
+
+def fast_config(**overrides) -> ArpPathConfig:
+    """An ArpPathConfig with quick timers for unit tests."""
+    base = dict(lock_timeout=0.1, learnt_timeout=10.0, guard_timeout=0.2,
+                hello_interval=0.5, hello_hold=1.75,
+                repair_retry_timeout=0.05)
+    base.update(overrides)
+    return ArpPathConfig(**base)

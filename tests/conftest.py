@@ -1,14 +1,16 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+The plain helper functions (``ping_once``, ``fast_config``, ``mac``,
+``ip``) live in :mod:`repro.testing` so test modules can import them
+without depending on conftest path-resolution order.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.core.config import ArpPathConfig
-from repro.frames.ipv4 import IPv4Address
-from repro.frames.mac import MAC
 from repro.netsim.engine import Simulator
-from repro.topology import arppath, learning, netfpga_demo, pair, spb, stp
+from repro.topology import arppath, netfpga_demo, pair
 from repro.topology.builder import Network
 
 
@@ -38,32 +40,3 @@ def pair_net(sim) -> Network:
     net = pair(sim, arppath())
     net.run(5.0)
     return net
-
-
-def ping_once(net: Network, src: str, dst: str, timeout: float = 2.0):
-    """Ping from *src* to *dst*; returns the RTT or None on loss."""
-    rtts = []
-    source = net.host(src)
-    target = net.host(dst)
-    source.ping(target.ip, on_reply=lambda seq, rtt: rtts.append(rtt))
-    net.run(timeout)
-    return rtts[0] if rtts else None
-
-
-def mac(index: int) -> MAC:
-    """Shorthand: a unicast test MAC."""
-    return MAC(0x02_00_00_00_10_00 + index)
-
-
-def ip(index: int) -> IPv4Address:
-    """Shorthand: a test IP."""
-    return IPv4Address(0x0A000000 + 0x100 + index)
-
-
-def fast_config(**overrides) -> ArpPathConfig:
-    """An ArpPathConfig with quick timers for unit tests."""
-    base = dict(lock_timeout=0.1, learnt_timeout=10.0, guard_timeout=0.2,
-                hello_interval=0.5, hello_hold=1.75,
-                repair_retry_timeout=0.05)
-    base.update(overrides)
-    return ArpPathConfig(**base)

@@ -1,0 +1,119 @@
+"""Tests for the shared AgingStore (timer-wheel-backed table aging)."""
+
+from dataclasses import dataclass
+
+from repro.netsim.aging import AgingStore
+from repro.netsim.engine import Simulator
+
+
+@dataclass
+class Entry:
+    value: str
+    expires: float
+
+
+class TestStandalone:
+    """Without a simulator: lazy reap plus the explicit sweep."""
+
+    def test_get_live(self):
+        store = AgingStore()
+        store.put("k", Entry("v", expires=10.0))
+        assert store.get("k", now=5.0).value == "v"
+
+    def test_get_reaps_expired(self):
+        store = AgingStore()
+        store.put("k", Entry("v", expires=10.0))
+        assert store.get("k", now=10.0) is None
+        assert len(store) == 0
+
+    def test_on_reap_hook_called_once(self):
+        reaped = []
+        store = AgingStore(on_reap=lambda key, entry: reaped.append(key))
+        store.put("k", Entry("v", expires=1.0))
+        store.get("k", now=2.0)
+        store.get("k", now=3.0)
+        assert reaped == ["k"]
+
+    def test_pop_is_not_a_reap(self):
+        reaped = []
+        store = AgingStore(on_reap=lambda key, entry: reaped.append(key))
+        store.put("k", Entry("v", expires=1.0))
+        assert store.pop("k").value == "v"
+        assert reaped == []
+
+    def test_reap_sweep(self):
+        store = AgingStore()
+        store.put("a", Entry("x", expires=1.0))
+        store.put("b", Entry("y", expires=5.0))
+        assert store.reap(now=2.0) == 1
+        assert "b" in store and "a" not in store
+
+    def test_pop_matching(self):
+        store = AgingStore()
+        store.put("a", Entry("x", expires=1.0))
+        store.put("b", Entry("y", expires=1.0))
+        assert store.pop_matching(lambda k, e: e.value == "x") == 1
+        assert len(store) == 1
+
+    def test_live_views(self):
+        store = AgingStore()
+        store.put("a", Entry("x", expires=1.0))
+        store.put("b", Entry("y", expires=5.0))
+        assert store.live_count(now=2.0) == 1
+        assert [e.value for e in store.live_values(2.0)] == ["y"]
+        assert len(store) == 2  # raw view keeps the expired entry
+
+
+class TestWheelBacked:
+    """With a simulator: the timer wheel reclaims memory promptly."""
+
+    def test_expired_entry_reclaimed_without_lookup(self):
+        sim = Simulator(seed=0)
+        store = AgingStore(sim)
+        store.put("k", Entry("v", expires=1.0))
+        sim.run(until=2.0)
+        assert len(store) == 0  # no get() ever happened
+
+    def test_reap_hook_fires_from_timer(self):
+        sim = Simulator(seed=0)
+        reaped = []
+        store = AgingStore(sim, on_reap=lambda key, entry:
+                           reaped.append((key, sim.now)))
+        store.put("k", Entry("v", expires=1.5))
+        sim.run(until=5.0)
+        assert reaped == [("k", 1.5)]
+
+    def test_refresh_extends_via_lazy_rearm(self):
+        sim = Simulator(seed=0)
+        store = AgingStore(sim)
+        entry = Entry("v", expires=1.0)
+        store.put("k", entry)
+        sim.schedule(0.5, lambda: setattr(entry, "expires", 3.0))
+        sim.run(until=2.0)
+        assert store.get("k", sim.now) is entry  # old deadline re-armed
+        sim.run(until=4.0)
+        assert len(store) == 0  # new deadline enforced
+
+    def test_pop_cancels_timer(self):
+        sim = Simulator(seed=0)
+        store = AgingStore(sim)
+        store.put("k", Entry("v", expires=1.0))
+        store.pop("k")
+        assert sim.pending_events == 0
+
+    def test_replacing_entry_keeps_single_timer(self):
+        sim = Simulator(seed=0)
+        store = AgingStore(sim)
+        for round_ in range(5):
+            store.put("k", Entry(str(round_), expires=sim.now + 1.0))
+        assert sim.pending_events == 1
+
+    def test_clear_cancels_all_timers(self):
+        sim = Simulator(seed=0)
+        store = AgingStore(sim)
+        for key in range(10):
+            store.put(key, Entry("v", expires=1.0))
+        store.clear()
+        assert sim.pending_events == 0
+        sim.run()
+        assert len(store) == 0

@@ -15,7 +15,7 @@ from repro.netsim.engine import Simulator
 from repro.topology import arppath, line, netfpga_demo, pair, ring
 from repro.topology.builder import Network
 
-from conftest import fast_config, ping_once
+from repro.testing import fast_config, ping_once
 
 
 class TestDiscoveryLocking:

@@ -16,7 +16,7 @@ from repro.netsim.engine import Simulator
 from repro.topology import arppath, line, netfpga_demo, pair
 from repro.topology.builder import Network
 
-from conftest import fast_config
+from repro.testing import fast_config
 
 
 def primed(net, src="H0", dst="H1"):

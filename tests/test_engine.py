@@ -167,6 +167,216 @@ class TestPeriodic:
         timer.stop()
 
 
+class TestPendingEvents:
+    def test_schedule_increments(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_events == 2
+
+    def test_cancellation_decrements(self, sim):
+        """Regression: the O(1) counter must track Event.cancel()."""
+        keep = sim.schedule(1.0, lambda: None)
+        victim = sim.schedule(2.0, lambda: None)
+        victim.cancel()
+        assert sim.pending_events == 1
+        assert sim.audit_pending_events() == 1
+        keep.cancel()
+        assert sim.pending_events == 0
+
+    def test_cancel_idempotent_counts_once(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending_events == 0
+
+    def test_firing_decrements(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_cancel_after_firing_is_noop(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        event.cancel()
+        assert sim.pending_events == 0
+
+    def test_wheel_timers_counted(self, sim):
+        timer = sim.schedule_timer(0.5, lambda: None)
+        assert sim.pending_events == 1
+        assert sim.audit_pending_events() == 1
+        timer.cancel()
+        assert sim.pending_events == 0
+        assert sim.audit_pending_events() == 0
+
+    def test_audit_matches_after_mixed_workload(self, sim):
+        events = [sim.schedule(i * 0.1, lambda: None) for i in range(10)]
+        timers = [sim.schedule_timer(i * 0.3, lambda: None)
+                  for i in range(10)]
+        for victim in events[::2] + timers[::2]:
+            victim.cancel()
+        sim.run(until=0.45)
+        assert sim.audit_pending_events() == sim.pending_events
+
+
+class TestTimerWheel:
+    def test_timer_fires_at_deadline(self, sim):
+        fired = []
+        sim.schedule_timer(1.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.5]
+
+    def test_cancelled_timer_never_fires(self, sim):
+        fired = []
+        timer = sim.schedule_timer(1.0, fired.append, "x")
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.schedule_timer(-0.1, lambda: None)
+
+    def test_orders_with_heap_events(self, sim):
+        """Wheel timers interleave with heap events in exact time order."""
+        order = []
+        sim.schedule(1.0, order.append, "heap-1.0")
+        sim.schedule_timer(0.5, order.append, "wheel-0.5")
+        sim.schedule_timer(1.5, order.append, "wheel-1.5")
+        sim.schedule(2.0, order.append, "heap-2.0")
+        sim.run()
+        assert order == ["wheel-0.5", "heap-1.0", "wheel-1.5", "heap-2.0"]
+
+    def test_same_instant_late_priority(self, sim):
+        """Timers default to PRIORITY_LATE: data events at the same
+        instant run first."""
+        order = []
+        sim.schedule_timer(1.0, order.append, "timer")
+        sim.schedule(1.0, order.append, "data")
+        sim.run()
+        assert order == ["data", "timer"]
+
+    def test_far_future_timer_cascades(self, sim):
+        """A timer beyond the fine wheel span (coarse bucket) still
+        fires at its exact deadline."""
+        span = sim.wheel.span
+        fired = []
+        sim.schedule_timer(span * 3.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [pytest.approx(span * 3.5)]
+
+    def test_run_until_leaves_future_timers(self, sim):
+        fired = []
+        sim.schedule_timer(5.0, fired.append, "late")
+        sim.run(until=1.0)
+        assert fired == []
+        sim.run(until=10.0)
+        assert fired == ["late"]
+
+    def test_timer_deterministic_order_within_instant(self, sim):
+        order = []
+        sim.schedule_timer(1.0, order.append, "a")
+        sim.schedule_timer(1.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b"]
+
+    def test_awkward_resolution_keeps_exact_order(self):
+        """Regression: bucket boundaries that are not exactly
+        representable (1.7/0.1 rounds up to 17.0, and 17*0.1 > 1.7)
+        must not file a timer past its own deadline — the LATE wheel
+        timer still beats a later-priority heap event at the same
+        instant."""
+        sim = Simulator(seed=0, wheel_resolution=0.1)
+        order = []
+        sim.schedule_timer(1.7, order.append, "timer-late")
+        sim.schedule(1.7, order.append, "heap-later",
+                     priority=PRIORITY_LATE + 5)
+        sim.run()
+        assert order == ["timer-late", "heap-later"]
+        assert sim.now == pytest.approx(1.7)
+
+    def test_awkward_resolution_exact_interleave(self):
+        """Wheel and heap events interleave identically to heap-only
+        scheduling at a non-power-of-two resolution."""
+        def firing_order(use_wheel):
+            sim = Simulator(seed=0, wheel_resolution=0.1)
+            order = []
+            for i in range(50):
+                delay = round(0.1 + i * 0.17, 10)
+                if use_wheel and i % 2:
+                    sim.schedule_timer(delay, order.append, i,
+                                       priority=PRIORITY_NORMAL)
+                else:
+                    sim.schedule(delay, order.append, i)
+            sim.run()
+            return order
+
+        assert firing_order(True) == firing_order(False)
+
+    def test_run_until_does_not_drain_far_wheel_timers(self, sim):
+        """Regression: slice-stepping (run(until=...)) must leave
+        timers beyond the slice on the wheel, where cancellation stays
+        O(1) — not pour them into the heap."""
+        timer = sim.schedule_timer(500.0, lambda: None)
+        sim.run(until=1.0)
+        assert len(sim.wheel) == 1
+        timer.cancel()
+        assert sim.pending_events == 0
+        sim.run()
+
+    def test_step_pours_wheel(self, sim):
+        fired = []
+        sim.schedule_timer(0.5, fired.append, "x")
+        assert sim.step() is True
+        assert fired == ["x"]
+        assert sim.step() is False
+
+
+class TestScheduleBulk:
+    def test_bulk_matches_individual_scheduling(self):
+        def run_with(bulk):
+            sim = Simulator(seed=0)
+            order = []
+            specs = [(0.3, order.append, "a"), (0.1, order.append, "b"),
+                     (0.2, order.append, "c")]
+            if bulk:
+                sim.schedule_bulk(specs)
+            else:
+                for delay, callback, arg in specs:
+                    sim.schedule(delay, callback, arg)
+            sim.run()
+            return order
+
+        assert run_with(bulk=True) == run_with(bulk=False) == ["b", "c", "a"]
+
+    def test_bulk_counts_pending(self, sim):
+        events = sim.schedule_bulk((i * 0.1, lambda: None)
+                                   for i in range(50))
+        assert len(events) == 50
+        assert sim.pending_events == 50
+        events[0].cancel()
+        assert sim.pending_events == 49
+
+    def test_bulk_preserves_existing_queue(self, sim):
+        order = []
+        sim.schedule(0.15, order.append, "old")
+        sim.schedule_bulk([(0.1, order.append, "new-early"),
+                           (0.2, order.append, "new-late")])
+        sim.run()
+        assert order == ["new-early", "old", "new-late"]
+
+    def test_bulk_rejects_past(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.schedule_bulk([(-1.0, lambda: None)])
+
+    def test_bulk_events_cancellable(self, sim):
+        fired = []
+        events = sim.schedule_bulk([(0.1, fired.append, i)
+                                    for i in range(5)])
+        events[2].cancel()
+        sim.run()
+        assert fired == [0, 1, 3, 4]
+
+
 class TestDeterminism:
     def _run_once(self, seed):
         sim = Simulator(seed=seed)

@@ -14,7 +14,7 @@ from repro.topology import (arppath, fat_tree, grid, learning, line,
 from repro.traffic.ping import PingSeries, ping_between
 from repro.traffic.video import stream_between
 
-from conftest import ping_once
+from repro.testing import ping_once
 
 
 class TestArpPathConnectivity:

@@ -134,6 +134,32 @@ class TestQueueing:
         assert len(b.received) == 3
         assert sim.tracer.count(trc.DROP_QUEUE) == 3
 
+    def test_queue_drops_counted_per_direction(self, sim):
+        """Overflowing a 1-frame queue tail-drops and counts the loss."""
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        link = Link(sim, a.add_port(), b.add_port(), latency=1e-3,
+                    bandwidth=1e6, queue_capacity=1, name="tiny")
+        # 1 transmitting + 1 queued; the other three tail-drop.
+        for _ in range(5):
+            a.ports[0].send(make_frame())
+        sim.run()
+        assert len(b.received) == 2
+        assert link.queue_drops == {"a.p0": 3, "b.p0": 0}
+        assert sim.tracer.count(trc.DROP_QUEUE) == 3
+
+    def test_stats_reports_queue_state(self, sim, wire):
+        a, _b, link = wire
+        for _ in range(3):
+            a.ports[0].send(make_frame())
+        stats = link.stats()
+        assert stats["a.p0"]["busy"] is True
+        assert stats["a.p0"]["queued"] == 2
+        assert stats["a.p0"]["queue_drops"] == 0
+        sim.run()
+        stats = link.stats()
+        assert stats["a.p0"]["busy"] is False
+        assert stats["a.p0"]["queued"] == 0
+
     def test_queue_drains_in_order(self, sim, wire):
         a, b, _link = wire
         frames = [make_frame() for _ in range(3)]

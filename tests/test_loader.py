@@ -9,7 +9,7 @@ from repro.netsim.errors import TopologyError
 from repro.stp.bridge import StpBridge
 from repro.topology.loader import from_json, from_spec
 
-from conftest import ping_once
+from repro.testing import ping_once
 
 DEMO_SPEC = {
     "bridges": ["B0", "B1"],

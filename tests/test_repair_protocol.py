@@ -12,7 +12,7 @@ from repro.netsim.engine import Simulator
 from repro.topology import arppath, line, netfpga_demo, pair, ring
 from repro.topology.builder import Network
 
-from conftest import fast_config
+from repro.testing import fast_config
 
 
 def established_stream(net, src="H0", dst="H1"):

@@ -9,7 +9,7 @@ from repro.spb.lsp import Adjacency, LinkStatePacket, SpbHello
 from repro.topology import grid, line, pair, ring, spb
 from repro.topology.builder import Network
 
-from conftest import ping_once
+from repro.testing import ping_once
 
 
 @pytest.fixture

@@ -7,7 +7,7 @@ from repro.spb.bridge import SpbBridge
 from repro.topology import grid, line, pair, ring, spb
 from repro.topology.builder import Network
 
-from conftest import ping_once
+from repro.testing import ping_once
 
 
 class TestLsdbAging:

@@ -10,7 +10,7 @@ from repro.stp.bridge import PortRole, PortState, StpBridge, StpTimers
 from repro.topology import netfpga_demo, pair, ring, stp, stp_scaled
 from repro.topology.builder import Network
 
-from conftest import ping_once
+from repro.testing import ping_once
 
 FAST = StpTimers().scaled(0.1)
 

@@ -70,7 +70,7 @@ class TestVideoStream:
 
     def test_chunk_loss_counted_without_repair(self, sim):
         from repro.topology import arppath, pair
-        from conftest import fast_config
+        from repro.testing import fast_config
         net = pair(sim, arppath(fast_config(repair_enabled=False)))
         net.run(3.0)
         # Establish the path before streaming.
