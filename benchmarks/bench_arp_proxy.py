@@ -11,12 +11,14 @@ failures either way.
 
 from conftest import banner, run_once
 
-from repro.experiments import broadcast
+from repro.experiments import registry
 from repro.metrics.report import format_table
+
+proxy = registry.get("proxy")
 
 
 def test_proxy_suppression(benchmark):
-    result = run_once(benchmark, lambda: broadcast.run(rows=3, cols=3,
+    result = run_once(benchmark, lambda: proxy.execute(rows=3, cols=3,
                                                        rounds=3))
     banner("EXP-A1 — ARP broadcast suppression (proxy off vs on)")
     print(result.table())
@@ -32,7 +34,7 @@ def test_proxy_suppression_grows_with_rounds(benchmark):
     def sweep():
         out = []
         for rounds in (1, 3, 5):
-            result = broadcast.run(rows=2, cols=2, rounds=rounds)
+            result = proxy.execute(rows=2, cols=2, rounds=rounds)
             out.append((rounds, result.reduction()))
         return out
 

@@ -10,15 +10,15 @@ roughly the cross/ring latency ratio (~20x with default parameters).
 
 from conftest import banner, run_once
 
-from repro.experiments import fig2_latency
-from repro.experiments.common import spec
+from repro.experiments import registry
+
+fig2 = registry.get("fig2")
 
 
 def test_fig2_latency_comparison(benchmark):
-    result = run_once(benchmark, lambda: fig2_latency.run(
-        probes=20,
-        protocols=[spec("arppath"), spec("stp", stp_scale=0.1),
-                   spec("spb")]))
+    # The registry defaults are the paper's comparison: arppath vs
+    # stp(x0.1) vs spb at 20 probes.
+    result = run_once(benchmark, lambda: fig2.execute(probes=20))
     banner("Fig. 2 — ARP-Path vs STP vs SPB latency (demo topology)")
     print(result.table())
     speedup = result.speedup()
@@ -29,15 +29,13 @@ def test_fig2_latency_comparison(benchmark):
 
 def test_fig2_sensitivity_to_cross_latency(benchmark):
     """Sweep the cross-cable latency: the ARP-Path advantage tracks it."""
-    from repro.topology.library import DemoParams
 
     def sweep():
         rows = []
-        for cross in (50e-6, 200e-6, 500e-6, 2000e-6):
-            result = fig2_latency.run(
-                probes=10, params=DemoParams(cross_latency=cross),
-                protocols=[spec("arppath"), spec("stp", stp_scale=0.1)])
-            rows.append((cross, result.speedup()))
+        for cross_us in (50.0, 200.0, 500.0, 2000.0):
+            result = fig2.execute(probes=10, cross_latency_us=cross_us,
+                                  protocols=["arppath", "stp"])
+            rows.append((cross_us * 1e-6, result.speedup()))
         return rows
 
     rows = run_once(benchmark, sweep)

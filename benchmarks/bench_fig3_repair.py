@@ -11,13 +11,15 @@ frame-rate-proportional pile of chunks.
 
 from conftest import banner, run_once
 
-from repro.experiments import fig3_repair
+from repro.experiments import fig3_repair, registry
 from repro.metrics.report import format_table
 from repro.metrics.stats import summarize
 
+fig3 = registry.get("fig3")
+
 
 def test_fig3_repair_comparison(benchmark):
-    result = run_once(benchmark, lambda: fig3_repair.run(failures=2))
+    result = run_once(benchmark, lambda: fig3.execute(failures=2))
     banner("Fig. 3 — stream disruption per failure (ARP-Path vs STP)")
     print(result.table())
     arp = next(r for r in result.rows if r.protocol == "arppath")

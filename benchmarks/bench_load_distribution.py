@@ -9,15 +9,18 @@ spine (half the links idle, cv = 1 with two spines).
 
 from conftest import banner, run_once
 
-from repro.experiments import loadbalance
+from repro.experiments import loadbalance, registry
 from repro.experiments.common import spec
 from repro.metrics.report import format_table
 
 
 def test_load_distribution(benchmark):
-    result = run_once(benchmark, lambda: loadbalance.run(
-        protocols=[spec("arppath"), spec("stp", stp_scale=0.1),
-                   spec("spb")]))
+    # Note packets=30 (the module default the pre-registry bench used),
+    # not the CLI default of 50.
+    result = run_once(benchmark, lambda: registry.get(
+        "loadbalance").execute(packets=30,
+                               protocols=["arppath", "stp", "spb"],
+                               stp_scale=0.1))
     banner("EXP-A2 — per-link load over a 4-leaf/2-spine fabric")
     print(result.table())
     arp = next(r for r in result.rows if r.protocol == "arppath")

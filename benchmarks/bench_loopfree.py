@@ -12,16 +12,16 @@ plain learning switch shows the storm ARP-Path prevents.
 
 from conftest import banner, run_once
 
-from repro.experiments import loopfree
-from repro.experiments.common import spec
+from repro.experiments import registry
 from repro.metrics.report import format_table
+
+loopfree = registry.get("loopfree")
 
 
 def test_loopfree_and_link_usage(benchmark):
-    result = run_once(benchmark, lambda: loopfree.run(
+    result = run_once(benchmark, lambda: loopfree.execute(
         topologies=["grid", "ring"],
-        protocols=[spec("arppath"), spec("stp", stp_scale=0.1),
-                   spec("spb")]))
+        protocols=["arppath", "stp", "spb"], stp_scale=0.1))
     banner("EXP-P2 — loop freedom and link utilisation")
     print(result.table())
     for row in result.rows:

@@ -12,11 +12,11 @@ traffic ⇒ small tables even with many hosts); SPB state tracks the
 
 from conftest import banner, run_once
 
-from repro.experiments import occupancy
+from repro.experiments import registry
 
 
 def test_state_scaling(benchmark):
-    result = run_once(benchmark, lambda: occupancy.run(
+    result = run_once(benchmark, lambda: registry.get("occupancy").execute(
         host_counts=[1, 2, 4], sparse_pairs=4))
     banner("EXP-S1 — per-bridge state vs hosts (4-bridge ring)")
     print(result.table())

@@ -10,15 +10,16 @@ get worse with size.
 
 from conftest import banner, run_once
 
-from repro.experiments import stretch
-from repro.experiments.common import spec
+from repro.experiments import registry
 from repro.metrics.report import format_table
+
+stretch = registry.get("stretch")
 
 
 def test_stretch_random_graphs(benchmark):
-    result = run_once(benchmark, lambda: stretch.run(
-        n_bridges=10, hosts=4, seeds=[0, 1, 2],
-        protocols=[spec("arppath"), spec("stp", stp_scale=0.1)]))
+    result = run_once(benchmark, lambda: stretch.execute(
+        bridges=10, hosts=4, seeds=[0, 1, 2],
+        protocols=["arppath", "stp"], stp_scale=0.1))
     banner("EXP-P1 — path stretch vs latency oracle (random graphs)")
     print(result.table())
     arp_rows = [r for r in result.rows if r.protocol == "arppath"]
@@ -29,9 +30,9 @@ def test_stretch_scales_with_network_size(benchmark):
     def sweep():
         out = []
         for n in (6, 10, 14):
-            result = stretch.run(n_bridges=n, hosts=3, seeds=[0],
-                                 protocols=[spec("arppath"),
-                                            spec("stp", stp_scale=0.1)])
+            result = stretch.execute(bridges=n, hosts=3, seeds=[0],
+                                     protocols=["arppath", "stp"],
+                                     stp_scale=0.1)
             row = {r.protocol.split("(")[0]: r.summary().mean
                    for r in result.rows}
             out.append((n, row["arppath"], row["stp"]))

@@ -1,7 +1,8 @@
 """Command-line interface: run the paper's experiments from a shell.
 
 The demo's operator clicked buttons in a GUI; here the same actions are
-subcommands::
+subcommands, auto-generated from the scenario registry
+(:mod:`repro.experiments.registry`)::
 
     python -m repro.cli fig2 --probes 20
     python -m repro.cli fig3 --failures 2
@@ -10,167 +11,182 @@ subcommands::
     python -m repro.cli proxy --rounds 3
     python -m repro.cli loadbalance
     python -m repro.cli ablations
+    python -m repro.cli occupancy
     python -m repro.cli ping --protocol arppath --count 5
 
 Each subcommand prints the experiment's result table to stdout and
-exits 0 on success.
+exits 0 on success. Every subcommand accepts ``--seeds 0 1 2`` (one run
+per seed) and the single-seed alias ``--seed N``.
+
+Parameter grids sweep through the parallel runner::
+
+    python -m repro.cli sweep stretch --seeds 0 1 2 3 --jobs 4
+    python -m repro.cli sweep stretch --set bridges=6,10,14 \\
+        --seeds 0 1 --jobs 4 --csv stretch.csv --json stretch.json
+
+Per-cell progress goes to stderr; the aggregated mean/ci95 summary
+table goes to stdout and is deterministic at any ``--jobs`` level.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.experiments import registry
 
 
-def _add_fig2(subparsers) -> None:
-    parser = subparsers.add_parser(
-        "fig2", help="Fig. 2: ARP-Path vs STP vs SPB latency")
-    parser.add_argument("--probes", type=int, default=20)
-    parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--cross-latency-us", type=float, default=500.0)
+def _add_scenario_arguments(parser: argparse.ArgumentParser,
+                            scenario: registry.Scenario) -> None:
+    for param in scenario.params:
+        if param.name == "seeds":
+            parser.add_argument(
+                "--seeds", type=param.type, nargs="+", default=None,
+                help=f"{param.help} (default: {param.default})")
+            parser.add_argument(
+                "--seed", type=param.type, default=None, dest="seed",
+                help="single-seed alias for --seeds")
+            continue
+        parser.add_argument(
+            param.flag, type=param.type, nargs=param.nargs,
+            choices=param.choices, default=None, dest=param.name,
+            help=f"{param.help} (default: {param.default})")
 
-    def run(args) -> int:
-        from repro.experiments import fig2_latency
-        from repro.experiments.common import spec
-        from repro.topology.library import DemoParams
-        result = fig2_latency.run(
-            probes=args.probes, seed=args.seed,
-            params=DemoParams(cross_latency=args.cross_latency_us * 1e-6),
-            protocols=[spec("arppath"), spec("stp", stp_scale=0.1),
-                       spec("spb")])
-        print(result.table())
-        speedup = result.speedup()
-        if speedup is not None:
-            print(f"\nARP-Path speedup over STP: {speedup:.1f}x")
+
+def _collect_overrides(args: argparse.Namespace,
+                       scenario: registry.Scenario) -> Dict[str, Any]:
+    """CLI values that were actually given, as run() overrides."""
+    overrides: Dict[str, Any] = {}
+    for param in scenario.params:
+        if param.name == "seeds":
+            if args.seeds is not None and args.seed is not None:
+                raise SystemExit(
+                    f"{scenario.name}: give --seed or --seeds, not both")
+            if args.seeds is not None:
+                overrides["seeds"] = list(args.seeds)
+            elif args.seed is not None:
+                overrides["seeds"] = [args.seed]
+            continue
+        value = getattr(args, param.name)
+        if value is not None:
+            overrides[param.name] = value
+    return overrides
+
+
+def _make_run(scenario: registry.Scenario):
+    def run(args: argparse.Namespace) -> int:
+        result = scenario.execute(**_collect_overrides(args, scenario))
+        print(scenario.report(result))
         return 0
+    return run
 
-    parser.set_defaults(run=run)
+
+def _parse_axis(token: str, scenarios: List[registry.Scenario]
+                ) -> Tuple[str, List[Any]]:
+    """One ``--set name=v1,v2`` sweep axis, validated per scenario."""
+    if "=" not in token:
+        raise SystemExit(f"--set expects name=v1,v2,...: {token!r}")
+    name, _, spec = token.partition("=")
+    name = name.replace("-", "_")
+    if not spec:
+        raise SystemExit(f"--set {name}: no values given")
+    values: List[Any] = []
+    for raw in spec.split(","):
+        value: Any = None
+        for scenario in scenarios:
+            try:
+                value = scenario.param(name).parse(raw)
+            except KeyError:
+                raise SystemExit(
+                    f"scenario {scenario.name!r} has no parameter "
+                    f"{name!r}")
+            except ValueError as error:
+                raise SystemExit(f"--set {name}: {error}")
+        values.append(value)
+    return name, values
 
 
-def _add_fig3(subparsers) -> None:
+def _run_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import runner
+    from repro.metrics.report import (csv_columns, format_table, write_csv,
+                                      write_json)
+
+    try:
+        scenarios = [registry.get(name) for name in args.scenarios]
+    except KeyError as error:
+        raise SystemExit(f"sweep: {error.args[0]}")
+    axes: Dict[str, List[Any]] = {}
+    for token in args.set or []:
+        name, values = _parse_axis(token, scenarios)
+        axes[name] = values
+    cells = runner.expand_grid(args.scenarios, args.seeds, axes)
+    sweep = runner.SweepRunner(cells, jobs=args.jobs)
+
+    print(f"sweep: {len(cells)} cells "
+          f"({', '.join(args.scenarios)}; seeds {args.seeds}; "
+          f"jobs {args.jobs})", file=sys.stderr)
+    results = []
+    done = 0
+    for result in sweep.stream():
+        done += 1
+        status = "ok" if result.ok else "ERROR"
+        print(f"[{done}/{len(cells)}] {result.cell.label()} "
+              f"{result.elapsed:.2f}s {status}", file=sys.stderr)
+        if not result.ok and not args.keep_going:
+            print(result.error, file=sys.stderr)
+            return 1
+        results.append(result)
+    report = runner.SweepReport(
+        cells=sorted(results, key=lambda r: r.cell.index))
+
+    summary = report.summary_rows()
+    by_scenario: Dict[str, List[Dict[str, Any]]] = {}
+    for row in summary:
+        by_scenario.setdefault(str(row["scenario"]), []).append(row)
+    for name in sorted(by_scenario):
+        rows = by_scenario[name]
+        columns = csv_columns(rows)
+        print(format_table(columns,
+                           [[row.get(column) for column in columns]
+                            for row in rows],
+                           title=f"sweep — {name} "
+                                 f"(mean/ci95 over seeds)"))
+        print()
+    print(f"{len(report.cells)} cells, {len(report.rows())} rows, "
+          f"{len(report.errors)} errors")
+
+    if args.json:
+        write_json(args.json, report.as_payload())
+    if args.csv:
+        write_csv(args.csv, report.rows())
+    for failed in report.errors:
+        print(f"\ncell {failed.cell.label()} failed:\n{failed.error}",
+              file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _add_sweep(subparsers) -> None:
     parser = subparsers.add_parser(
-        "fig3", help="Fig. 3: path repair under successive failures")
-    parser.add_argument("--failures", type=int, default=2)
-    parser.add_argument("--fps", type=float, default=25.0)
-    parser.add_argument("--seed", type=int, default=0)
-
-    def run(args) -> int:
-        from repro.experiments import fig3_repair
-        result = fig3_repair.run(failures=args.failures, fps=args.fps,
-                                 seed=args.seed)
-        print(result.table())
-        return 0
-
-    parser.set_defaults(run=run)
-
-
-def _add_stretch(subparsers) -> None:
-    parser = subparsers.add_parser(
-        "stretch", help="EXP-P1: path stretch vs latency oracle")
-    parser.add_argument("--bridges", type=int, default=10)
-    parser.add_argument("--hosts", type=int, default=4)
-    parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
-
-    def run(args) -> int:
-        from repro.experiments import stretch
-        result = stretch.run(n_bridges=args.bridges, hosts=args.hosts,
-                             seeds=list(args.seeds))
-        print(result.table())
-        return 0
-
-    parser.set_defaults(run=run)
-
-
-def _add_loopfree(subparsers) -> None:
-    parser = subparsers.add_parser(
-        "loopfree", help="EXP-P2: loop freedom and link utilisation")
-    parser.add_argument("--topologies", nargs="+", default=["grid", "ring"],
-                        choices=["grid", "ring"])
-    parser.add_argument("--seed", type=int, default=0)
-
-    def run(args) -> int:
-        from repro.experiments import loopfree
-        result = loopfree.run(topologies=list(args.topologies),
-                              seed=args.seed)
-        print(result.table())
-        return 0
-
-    parser.set_defaults(run=run)
-
-
-def _add_proxy(subparsers) -> None:
-    parser = subparsers.add_parser(
-        "proxy", help="EXP-A1: ARP proxy broadcast suppression")
-    parser.add_argument("--rows", type=int, default=3)
-    parser.add_argument("--cols", type=int, default=3)
-    parser.add_argument("--rounds", type=int, default=3)
-
-    def run(args) -> int:
-        from repro.experiments import broadcast
-        result = broadcast.run(rows=args.rows, cols=args.cols,
-                               rounds=args.rounds)
-        print(result.table())
-        reduction = result.reduction()
-        if reduction is not None:
-            print(f"\nsuppression factor: {reduction:.2f}x")
-        return 0
-
-    parser.set_defaults(run=run)
-
-
-def _add_loadbalance(subparsers) -> None:
-    parser = subparsers.add_parser(
-        "loadbalance", help="EXP-A2: load distribution over a fabric")
-    parser.add_argument("--pods", type=int, default=4)
-    parser.add_argument("--packets", type=int, default=50)
-
-    def run(args) -> int:
-        from repro.experiments import loadbalance
-        result = loadbalance.run(pods=args.pods, packets=args.packets)
-        print(result.table())
-        return 0
-
-    parser.set_defaults(run=run)
-
-
-def _add_ablations(subparsers) -> None:
-    parser = subparsers.add_parser(
-        "ablations", help="EXP-A3: design-knob sweeps")
-    parser.add_argument("--seed", type=int, default=0)
-
-    def run(args) -> int:
-        from repro.experiments import ablations
-        print(ablations.run(seed=args.seed).table())
-        return 0
-
-    parser.set_defaults(run=run)
-
-
-def _add_ping(subparsers) -> None:
-    parser = subparsers.add_parser(
-        "ping", help="interactive check: ping A<->B on the demo topology")
-    # No "learning" choice: a plain learning switch melts down on the
-    # demo topology's loops (that failure mode is demonstrated in the
-    # loop-freedom bench instead).
-    parser.add_argument("--protocol", default="arppath",
-                        choices=["arppath", "stp", "spb"])
-    parser.add_argument("--count", type=int, default=5)
-    parser.add_argument("--seed", type=int, default=0)
-
-    def run(args) -> int:
-        from repro.experiments.common import spec
-        from repro.experiments.fig2_latency import run_protocol
-        chosen = spec(args.protocol) if args.protocol != "stp" \
-            else spec("stp", stp_scale=0.1)
-        row = run_protocol(chosen, probes=args.count, seed=args.seed)
-        print(f"protocol: {row.protocol}")
-        print(f"path:     A -> {row.path_str} -> B")
-        print(f"rtt:      mean {row.rtt.mean * 1e6:.1f}us  "
-              f"p95 {row.rtt.p95 * 1e6:.1f}us  losses {row.losses}")
-        return 0
-
-    parser.set_defaults(run=run)
+        "sweep", help="expand a scenario/seed/param grid and run it on "
+                      "a process pool")
+    parser.add_argument("scenarios", nargs="+",
+                        metavar="scenario",
+                        help="registered scenario name(s)")
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0],
+                        help="seeds: one run of every grid point per seed")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = in-process)")
+    parser.add_argument("--set", action="append", metavar="NAME=V1,V2",
+                        help="sweep axis: a scenario parameter and the "
+                             "values to grid over (repeatable)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write cells+rows+summary as JSON")
+    parser.add_argument("--csv", metavar="PATH",
+                        help="write the raw result rows as CSV")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="run remaining cells after a cell fails")
+    parser.set_defaults(run=_run_sweep)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -178,14 +194,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="ARP-Path reproduction: run the paper's experiments.")
     subparsers = parser.add_subparsers(dest="command", required=True)
-    _add_fig2(subparsers)
-    _add_fig3(subparsers)
-    _add_stretch(subparsers)
-    _add_loopfree(subparsers)
-    _add_proxy(subparsers)
-    _add_loadbalance(subparsers)
-    _add_ablations(subparsers)
-    _add_ping(subparsers)
+    for scenario in registry.all_scenarios():
+        sub = subparsers.add_parser(scenario.name, help=scenario.title)
+        _add_scenario_arguments(sub, scenario)
+        sub.set_defaults(run=_make_run(scenario))
+    _add_sweep(subparsers)
     return parser
 
 

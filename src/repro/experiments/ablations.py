@@ -15,10 +15,11 @@ Three sweeps over the design decisions DESIGN.md calls out:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.bridge import ArpPathBridge
 from repro.core.config import ArpPathConfig
+from repro.experiments import registry
 from repro.experiments.common import build_and_warm, spec
 from repro.failures.injector import FailureInjector
 from repro.metrics.convergence import recovery_from_arrivals
@@ -82,6 +83,29 @@ class AblationResult:
              for r in self.hello_rows],
             title="EXP-A3c — port classification"))
         return "\n\n".join(parts)
+
+    def records(self) -> List[Dict[str, Any]]:
+        out: List[Dict[str, Any]] = []
+        for lock in self.lock_rows:
+            out.append({"sweep": "lock_timeout",
+                        "lock_timeout": lock.lock_timeout,
+                        "rtt_mean": lock.rtt_mean, "losses": lock.losses,
+                        "relocks": lock.relocks,
+                        "discovery_filtered": lock.discovery_filtered})
+        for buf in self.buffer_rows:
+            out.append({"sweep": "repair_buffer",
+                        "buffer_size": buf.buffer_size,
+                        "outage_ms": buf.outage_ms,
+                        "chunks_lost": buf.chunks_lost,
+                        "buffered": buf.buffered,
+                        "buffer_drops": buf.buffer_drops})
+        for hello in self.hello_rows:
+            out.append({"sweep": "hello",
+                        "hello_enabled": hello.hello_enabled,
+                        "static_roles": hello.static_roles,
+                        "repaired": hello.repaired,
+                        "outage_ms": hello.outage_ms})
+        return out
 
 
 def sweep_lock_timeout(timeouts: List[float] = [0.0002, 0.002, 0.8, 5.0],
@@ -189,7 +213,42 @@ def sweep_hello(seed: int = 0) -> List[HelloRow]:
     return rows
 
 
-def run(seed: int = 0) -> AblationResult:
-    return AblationResult(lock_rows=sweep_lock_timeout(seed=seed),
-                          buffer_rows=sweep_repair_buffer(seed=seed),
-                          hello_rows=sweep_hello(seed=seed))
+def run(seed: int = 0,
+        lock_timeouts: List[float] = [0.0002, 0.002, 0.8, 5.0],
+        buffer_sizes: List[int] = [0, 4, 32]) -> AblationResult:
+    return AblationResult(
+        lock_rows=sweep_lock_timeout(timeouts=list(lock_timeouts),
+                                     seed=seed),
+        buffer_rows=sweep_repair_buffer(sizes=list(buffer_sizes),
+                                        seed=seed),
+        hello_rows=sweep_hello(seed=seed))
+
+
+def _merge_ablations(into: AblationResult, extra: AblationResult) -> None:
+    into.lock_rows.extend(extra.lock_rows)
+    into.buffer_rows.extend(extra.buffer_rows)
+    into.hello_rows.extend(extra.hello_rows)
+
+
+def _ablations_scenario(seeds: List[int], lock_timeouts: List[float],
+                        buffer_sizes: List[int]) -> AblationResult:
+    return registry.seeded(
+        lambda seed: run(seed=seed, lock_timeouts=lock_timeouts,
+                         buffer_sizes=buffer_sizes),
+        merge=_merge_ablations)(seeds)
+
+
+registry.register(registry.Scenario(
+    name="ablations",
+    title="EXP-A3: design-knob sweeps",
+    params=(
+        registry.Param("lock_timeouts", float, [0.0002, 0.002, 0.8, 5.0],
+                       nargs="+", help="locked-table timeouts to sweep"),
+        registry.Param("buffer_sizes", int, [0, 4, 32], nargs="+",
+                       help="repair buffer sizes to sweep"),
+        registry.seeds_param(),
+    ),
+    run=_ablations_scenario,
+    row_keys=("lock_timeout", "buffer_size"),
+    smoke={"lock_timeouts": [0.8], "buffer_sizes": [0]},
+))

@@ -11,10 +11,11 @@ answered at the ingress bridge.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.bridge import ArpPathBridge
 from repro.core.config import ArpPathConfig
+from repro.experiments import registry
 from repro.experiments.common import ProtocolSpec, build_and_warm, spec
 from repro.frames.ethernet import ETHERTYPE_ARP
 from repro.metrics.load import broadcast_frames_sent
@@ -46,12 +47,23 @@ class BroadcastResult:
             title="EXP-A1 — ARP broadcast suppression with proxy")
 
     def reduction(self) -> Optional[float]:
-        """Frames(off) / frames(on) — the suppression factor."""
-        off = next((r for r in self.rows if not r.proxy), None)
-        on = next((r for r in self.rows if r.proxy), None)
-        if off is None or on is None or on.arp_frames_on_links == 0:
+        """Frames(off) / frames(on) — the suppression factor.
+
+        Multi-seed runs hold one off/on row pair per seed; the factor
+        uses the frame totals across all rows of each kind.
+        """
+        off = sum(r.arp_frames_on_links for r in self.rows if not r.proxy)
+        on = sum(r.arp_frames_on_links for r in self.rows if r.proxy)
+        if not any(not r.proxy for r in self.rows) or on == 0:
             return None
-        return off.arp_frames_on_links / on.arp_frames_on_links
+        return off / on
+
+    def records(self) -> List[Dict[str, Any]]:
+        return [{"proxy": r.proxy, "hosts": r.hosts, "rounds": r.rounds,
+                 "arp_link_frames": r.arp_frames_on_links,
+                 "proxy_answers": r.proxy_answers,
+                 "resolution_failures": r.resolution_failures}
+                for r in self.rows]
 
 
 def run_case(proxy: bool, rows: int = 3, cols: int = 3, rounds: int = 3,
@@ -107,3 +119,33 @@ def run(rows: int = 3, cols: int = 3, rounds: int = 3,
         result.rows.append(run_case(proxy, rows=rows, cols=cols,
                                     rounds=rounds, seed=seed))
     return result
+
+
+def _proxy_scenario(seeds: List[int], rows: int, cols: int,
+                    rounds: int) -> BroadcastResult:
+    return registry.seeded(
+        lambda seed: run(rows=rows, cols=cols, rounds=rounds,
+                         seed=seed))(seeds)
+
+
+def _proxy_render(result: BroadcastResult) -> str:
+    text = result.table()
+    reduction = result.reduction()
+    if reduction is not None:
+        text += f"\n\nsuppression factor: {reduction:.2f}x"
+    return text
+
+
+registry.register(registry.Scenario(
+    name="proxy",
+    title="EXP-A1: ARP proxy broadcast suppression",
+    params=(
+        registry.Param("rows", int, 3, help="grid rows"),
+        registry.Param("cols", int, 3, help="grid columns"),
+        registry.Param("rounds", int, 3, help="all-pairs ARP rounds"),
+        registry.seeds_param(),
+    ),
+    run=_proxy_scenario,
+    render=_proxy_render,
+    smoke={"rows": 2, "cols": 2, "rounds": 1},
+))

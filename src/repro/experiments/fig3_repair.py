@@ -16,9 +16,10 @@ and reports the scale alongside).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.bridge import ArpPathBridge
+from repro.experiments import registry
 from repro.experiments.common import ProtocolSpec, build_and_warm, spec
 from repro.metrics.convergence import Recovery, recoveries_for_failures
 from repro.metrics.paths import PathObserver
@@ -80,6 +81,19 @@ class Fig3Result:
             headers, body,
             title="Fig.3 — stream disruption per link failure "
                   "(failures hit the active path)")
+
+    def records(self) -> List[Dict[str, Any]]:
+        out = []
+        for row in self.rows:
+            for index, outcome in enumerate(row.outcomes, start=1):
+                out.append({"protocol": row.protocol,
+                            "failure_index": index,
+                            "link": outcome.link,
+                            "outage": outcome.outage,
+                            "chunks_lost": outcome.chunks_lost,
+                            "delivery_rate": row.delivery_rate,
+                            "duplicates": row.duplicates})
+        return out
 
 
 def run_protocol(protocol: ProtocolSpec, failures: int = 2,
@@ -169,3 +183,35 @@ def run(failures: int = 2, params: DemoParams = DemoParams(),
             protocol, failures=failures, params=params, fps=fps,
             failure_spacing=spacing, seed=seed))
     return result
+
+
+def _fig3_scenario(seeds: List[int], failures: int, fps: float,
+                   failure_spacing: float, stp_scale: float,
+                   protocols: List[str]) -> Fig3Result:
+    chosen = registry.protocol_specs(protocols, stp_scale=stp_scale)
+    return registry.seeded(
+        lambda seed: run(failures=failures, fps=fps,
+                         failure_spacing=failure_spacing, seed=seed,
+                         stp_scale=stp_scale, protocols=chosen))(seeds)
+
+
+registry.register(registry.Scenario(
+    name="fig3",
+    title="Fig. 3: path repair under successive failures",
+    params=(
+        registry.Param("failures", int, 2, help="successive link failures"),
+        registry.Param("fps", float, 25.0, help="video stream frame rate"),
+        registry.Param("failure_spacing", float, 2.0,
+                       help="seconds between failures (STP runs use "
+                            "max(this, reconvergence time))"),
+        registry.Param("stp_scale", float, 0.1,
+                       help="STP timer scale (1.0 = IEEE defaults)"),
+        registry.Param("protocols", str, ["arppath", "stp"],
+                       nargs="+", choices=("arppath", "stp", "spb"),
+                       help="protocols to compare"),
+        registry.seeds_param(),
+    ),
+    run=_fig3_scenario,
+    row_keys=("failure_index",),
+    smoke={"failures": 1, "protocols": ["arppath"]},
+))

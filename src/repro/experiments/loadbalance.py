@@ -12,8 +12,9 @@ blocked-link effect directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
+from repro.experiments import registry
 from repro.experiments.common import ProtocolSpec, build_and_warm, spec
 from repro.frames.ethernet import ETHERTYPE_IPV4
 from repro.metrics.load import LoadReport, fabric_load
@@ -43,6 +44,15 @@ class LoadResult:
         return format_table(
             headers, body,
             title="EXP-A2 — load distribution over a leaf/spine fabric")
+
+    def records(self) -> List[Dict[str, Any]]:
+        return [{"protocol": r.protocol, "flows": r.flows,
+                 "delivery_rate": r.delivery_rate,
+                 "links_used": r.report.used_links,
+                 "links_total": r.report.total_links,
+                 "load_cv": r.report.cv,
+                 "max_over_mean": r.report.max_over_mean}
+                for r in self.rows]
 
 
 def run_protocol(protocol: ProtocolSpec, pods: int = 4,
@@ -88,3 +98,32 @@ def run(pods: int = 4, hosts_per_edge: int = 2, packets: int = 30,
                                         hosts_per_edge=hosts_per_edge,
                                         packets=packets, seed=seed))
     return result
+
+
+def _loadbalance_scenario(seeds: List[int], pods: int, hosts_per_edge: int,
+                          packets: int, protocols: List[str],
+                          stp_scale: Optional[float]) -> LoadResult:
+    chosen = registry.protocol_specs(protocols, stp_scale=stp_scale)
+    return registry.seeded(
+        lambda seed: run(pods=pods, hosts_per_edge=hosts_per_edge,
+                         packets=packets, seed=seed,
+                         protocols=chosen))(seeds)
+
+
+registry.register(registry.Scenario(
+    name="loadbalance",
+    title="EXP-A2: load distribution over a fabric",
+    params=(
+        registry.Param("pods", int, 4, help="leaf switches in the fabric"),
+        registry.Param("hosts_per_edge", int, 2, help="hosts per leaf"),
+        registry.Param("packets", int, 50, help="packets per flow"),
+        registry.Param("protocols", str, ["arppath", "stp", "spb"],
+                       nargs="+", choices=("arppath", "stp", "spb"),
+                       help="protocols to compare"),
+        registry.Param("stp_scale", float, None,
+                       help="STP timer scale (default: IEEE timers)"),
+        registry.seeds_param(),
+    ),
+    run=_loadbalance_scenario,
+    smoke={"packets": 5, "protocols": ["arppath"]},
+))

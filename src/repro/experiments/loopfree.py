@@ -15,8 +15,9 @@ Two claims in one experiment, run on deliberately loopy topologies:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
+from repro.experiments import registry
 from repro.experiments.common import ProtocolSpec, build_and_warm, spec
 from repro.frames.ethernet import ETHERTYPE_ARP, ETHERTYPE_IPV4
 from repro.metrics.load import fabric_load
@@ -53,6 +54,12 @@ class LoopfreeResult:
         return format_table(
             headers, body,
             title="EXP-P2 — loop freedom and link utilisation")
+
+    def records(self) -> List[Dict[str, Any]]:
+        return [{"protocol": r.protocol, "topology": r.topology,
+                 "duplicate_deliveries": r.duplicate_deliveries,
+                 "storm": r.storm, "links_used": r.used_links,
+                 "links_total": r.total_links} for r in self.rows]
 
 
 def _duplicate_deliveries(net) -> Dict[int, int]:
@@ -134,3 +141,31 @@ def run(topologies: List[str] = ["grid", "ring"], seed: int = 0,
             result.rows.append(run_protocol(protocol, topology_name=name,
                                             seed=seed))
     return result
+
+
+def _loopfree_scenario(seeds: List[int], topologies: List[str],
+                       protocols: List[str],
+                       stp_scale: Optional[float]) -> LoopfreeResult:
+    chosen = registry.protocol_specs(protocols, stp_scale=stp_scale)
+    return registry.seeded(
+        lambda seed: run(topologies=topologies, seed=seed,
+                         protocols=chosen))(seeds)
+
+
+registry.register(registry.Scenario(
+    name="loopfree",
+    title="EXP-P2: loop freedom and link utilisation",
+    params=(
+        registry.Param("topologies", str, ["grid", "ring"], nargs="+",
+                       choices=("grid", "ring"),
+                       help="loopy topologies to test"),
+        registry.Param("protocols", str, ["arppath", "stp", "spb"],
+                       nargs="+", choices=("arppath", "stp", "spb"),
+                       help="protocols to compare"),
+        registry.Param("stp_scale", float, None,
+                       help="STP timer scale (default: IEEE timers)"),
+        registry.seeds_param(),
+    ),
+    run=_loopfree_scenario,
+    smoke={"topologies": ["ring"], "protocols": ["arppath"]},
+))

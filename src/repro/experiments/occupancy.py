@@ -15,9 +15,10 @@ and (b) a sparse traffic matrix — showing ARP-Path state scales with
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.bridge import ArpPathBridge
+from repro.experiments import registry
 from repro.experiments.common import ProtocolSpec, build_and_warm, spec
 from repro.metrics.report import format_table
 from repro.spb.bridge import SpbBridge
@@ -47,6 +48,13 @@ class OccupancyResult:
         return format_table(
             headers, body,
             title="EXP-S1 — per-bridge state vs hosts and traffic")
+
+    def records(self) -> List[Dict[str, Any]]:
+        return [{"protocol": r.protocol, "hosts": r.hosts,
+                 "talking_pairs": r.active_pairs,
+                 "peak_state": r.peak_entries_per_bridge,
+                 "mean_state": r.mean_entries_per_bridge}
+                for r in self.rows]
 
 
 def _bridge_state(bridge) -> int:
@@ -109,3 +117,26 @@ def run(host_counts: List[int] = [1, 2, 4], sparse_pairs: int = 4,
                 sparse.protocol += " (sparse)"
                 result.rows.append(sparse)
     return result
+
+
+def _occupancy_scenario(seeds: List[int], host_counts: List[int],
+                        sparse_pairs: int) -> OccupancyResult:
+    return registry.seeded(
+        lambda seed: run(host_counts=host_counts,
+                         sparse_pairs=sparse_pairs, seed=seed))(seeds)
+
+
+registry.register(registry.Scenario(
+    name="occupancy",
+    title="EXP-S1: per-bridge state vs hosts and traffic",
+    params=(
+        registry.Param("host_counts", int, [1, 2, 4], nargs="+",
+                       help="hosts per bridge, one case per value"),
+        registry.Param("sparse_pairs", int, 4,
+                       help="talking pairs in the sparse traffic case"),
+        registry.seeds_param(),
+    ),
+    run=_occupancy_scenario,
+    row_keys=("hosts", "talking_pairs"),
+    smoke={"host_counts": [1]},
+))

@@ -1,0 +1,237 @@
+"""Scenario registry: declarative experiment metadata.
+
+Every experiment module declares a :class:`Scenario` — a name, a typed
+parameter spec with defaults, a run callable and result adapters — and
+self-registers at import time. Everything downstream is generated from
+this one table:
+
+* ``repro.cli`` builds its subcommands (flags, help, defaults) from the
+  param specs instead of hand-rolled parser functions,
+* ``repro.experiments.runner`` expands (scenario x seed x param) grids
+  over it and executes the cells on a process pool,
+* the smoke-test suite iterates every registered scenario at its
+  declared smallest parameters.
+
+Seeds are uniform by construction: every scenario declares a ``seeds``
+parameter (a list of ints), so every subcommand accepts ``--seeds 0 1 2``
+and the single-seed alias ``--seed N``. Scenarios whose underlying
+``run()`` takes one seed are adapted with :func:`seeded`, which runs
+once per seed and concatenates result rows.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple)
+
+#: Module-level registry, keyed by scenario name.
+_SCENARIOS: Dict[str, "Scenario"] = {}
+
+#: Canonical presentation order (CLI subcommands, listings). Scenarios
+#: not named here are appended in registration order.
+_ORDER = ("fig2", "fig3", "stretch", "loopfree", "proxy", "loadbalance",
+          "ablations", "occupancy", "ping")
+
+#: The experiment modules that self-register scenarios, in the order
+#: their subcommands should appear.
+_MODULES = (
+    "repro.experiments.fig2_latency",
+    "repro.experiments.fig3_repair",
+    "repro.experiments.stretch",
+    "repro.experiments.loopfree",
+    "repro.experiments.broadcast",
+    "repro.experiments.loadbalance",
+    "repro.experiments.ablations",
+    "repro.experiments.occupancy",
+)
+
+_loaded = False
+
+
+@dataclass(frozen=True)
+class Param:
+    """One typed scenario parameter, mirrored as a CLI flag."""
+
+    name: str
+    type: Callable[[str], Any] = int
+    default: Any = None
+    nargs: Optional[str] = None
+    choices: Optional[Tuple[Any, ...]] = None
+    help: str = ""
+    #: May be used as a sweep axis (``--set name=v1,v2``).
+    sweep: bool = True
+
+    @property
+    def flag(self) -> str:
+        return "--" + self.name.replace("_", "-")
+
+    @property
+    def is_list(self) -> bool:
+        return self.nargs == "+"
+
+    def parse(self, token: str) -> Any:
+        """Coerce one textual value (a sweep-axis token) to this type."""
+        value = self.type(token)
+        if self.choices is not None and value not in self.choices:
+            raise ValueError(
+                f"--{self.name}: {value!r} not in {list(self.choices)}")
+        return value
+
+
+def seeds_param(default: Sequence[int] = (0,)) -> Param:
+    """The uniform ``seeds`` parameter every scenario declares."""
+    return Param(name="seeds", type=int, nargs="+",
+                 default=list(default), help="RNG seeds (one run per seed)",
+                 sweep=False)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A registered experiment: param spec + run callable + adapters."""
+
+    name: str
+    title: str
+    params: Tuple[Param, ...]
+    #: ``run(**{p.name: value})`` -> result object (has ``.table()``).
+    run: Callable[..., Any]
+    #: Full stdout text for a single CLI run (defaults to ``table()``).
+    render: Optional[Callable[[Any], str]] = None
+    #: Machine-readable rows (defaults to ``result.records()``).
+    rows: Optional[Callable[[Any], List[Dict[str, Any]]]] = None
+    #: Row fields (beyond strings/bools) identifying a row when
+    #: aggregating repeated seeds — e.g. a failure index.
+    row_keys: Tuple[str, ...] = ()
+    #: Param overrides for the fastest meaningful run (smoke tests).
+    smoke: Dict[str, Any] = field(default_factory=dict)
+
+    def param(self, name: str) -> Param:
+        for param in self.params:
+            if param.name == name:
+                return param
+        raise KeyError(f"{self.name}: unknown parameter {name!r}")
+
+    def defaults(self) -> Dict[str, Any]:
+        """A fresh copy of every parameter's default value."""
+        return {p.name: copy.copy(p.default) for p in self.params}
+
+    def bind(self, overrides: Optional[Dict[str, Any]] = None
+             ) -> Dict[str, Any]:
+        """Defaults merged with *overrides*; unknown names raise."""
+        bound = self.defaults()
+        for name, value in (overrides or {}).items():
+            if name not in bound:
+                raise KeyError(
+                    f"{self.name}: unknown parameter {name!r} "
+                    f"(has: {', '.join(sorted(bound))})")
+            param = self.param(name)
+            if param.is_list and isinstance(value, tuple):
+                value = list(value)
+            bound[name] = value
+        return bound
+
+    def execute(self, **overrides: Any) -> Any:
+        """Run with defaults filled in: ``scenario.execute(probes=5)``."""
+        return self.run(**self.bind(overrides))
+
+    def report(self, result: Any) -> str:
+        """The single-run stdout text (table plus any epilogue lines)."""
+        if self.render is not None:
+            return self.render(result)
+        return result.table()
+
+    def records(self, result: Any) -> List[Dict[str, Any]]:
+        """Flat machine-readable rows for aggregation and artifacts."""
+        if self.rows is not None:
+            return self.rows(result)
+        from repro.metrics.report import records
+        return records(result)
+
+
+def register(scenario: Scenario) -> Scenario:
+    """Add *scenario* to the registry (import-time self-registration)."""
+    if scenario.name in _SCENARIOS:
+        raise ValueError(f"duplicate scenario: {scenario.name}")
+    names = [p.name for p in scenario.params]
+    if len(set(names)) != len(names):
+        raise ValueError(f"{scenario.name}: duplicate parameter names")
+    if "seeds" not in names:
+        raise ValueError(f"{scenario.name}: missing the uniform 'seeds' "
+                         "parameter (use registry.seeds_param())")
+    _SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def load_all() -> None:
+    """Import every experiment module so it self-registers (idempotent)."""
+    global _loaded
+    if _loaded:
+        return
+    import importlib
+    for module in _MODULES:
+        importlib.import_module(module)
+    _loaded = True
+
+
+def get(name: str) -> Scenario:
+    load_all()
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r} "
+                       f"(have: {', '.join(names())})") from None
+
+
+def names() -> List[str]:
+    load_all()
+    ordered = [name for name in _ORDER if name in _SCENARIOS]
+    ordered += [name for name in _SCENARIOS if name not in _ORDER]
+    return ordered
+
+
+def all_scenarios() -> List[Scenario]:
+    return [_SCENARIOS[name] for name in names()]
+
+
+def seeded(run_one: Callable[..., Any],
+           merge: Optional[Callable[[Any, Any], None]] = None
+           ) -> Callable[..., Any]:
+    """Adapt a single-seed ``run(seed=..., **kw)`` to the uniform
+    ``seeds`` list parameter.
+
+    Runs once per seed; with multiple seeds, later results are folded
+    into the first with *merge* (default: concatenate ``result.rows``).
+    """
+    def fold(into: Any, extra: Any) -> None:
+        into.rows.extend(extra.rows)
+
+    combine = merge if merge is not None else fold
+
+    def run(seeds: List[int], **kwargs: Any) -> Any:
+        if not seeds:
+            raise ValueError("seeds must be non-empty")
+        results = [run_one(seed=seed, **kwargs) for seed in seeds]
+        merged = results[0]
+        for extra in results[1:]:
+            combine(merged, extra)
+        return merged
+
+    return run
+
+
+def protocol_specs(names: Iterable[str],
+                   stp_scale: Optional[float] = None) -> List[Any]:
+    """Map protocol *names* to :class:`ProtocolSpec` objects.
+
+    ``stp_scale`` applies to the ``stp`` entry only (None = IEEE default
+    timers) — each scenario passes whatever its pre-registry CLI used.
+    """
+    from repro.experiments.common import spec
+    specs = []
+    for name in names:
+        if name == "stp" and stp_scale is not None:
+            specs.append(spec("stp", stp_scale=stp_scale))
+        else:
+            specs.append(spec(name))
+    return specs

@@ -1,0 +1,228 @@
+"""Parallel sweep runner: expand scenario grids, execute on a pool.
+
+A sweep is a list of :class:`SweepCell` — one (scenario, seed, param
+overrides) triple per cell, produced by :func:`expand_grid` from the
+cross product of scenarios x seeds x sweep axes. :class:`SweepRunner`
+executes cells on a ``multiprocessing`` pool (``jobs=1`` runs in
+process, no pool) and streams :class:`CellResult` objects as they
+complete.
+
+Determinism: each cell carries its own seed, every experiment builds a
+fresh ``Simulator(seed=cell.seed)``, and cells share no state — so the
+per-cell rows are identical at any ``jobs`` level, and the aggregation
+(:func:`repro.metrics.stats.aggregate_rows`) sorts its groups, making
+the summary byte-identical too.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import (Any, Dict, Iterable, Iterator, List, Optional, Sequence,
+                    Tuple)
+
+from repro.experiments import registry
+from repro.metrics.stats import aggregate_rows
+
+#: Overrides are stored as a sorted tuple of (name, value) pairs with
+#: list values frozen to tuples, so cells are hashable and picklable.
+Overrides = Tuple[Tuple[str, Any], ...]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One unit of sweep work: a scenario at one seed and param point."""
+
+    index: int
+    scenario: str
+    seed: int
+    overrides: Overrides = ()
+
+    def params(self) -> Dict[str, Any]:
+        """Overrides as run kwargs (tuples thawed back to lists)."""
+        return {name: list(value) if isinstance(value, tuple) else value
+                for name, value in self.overrides}
+
+    def label(self) -> str:
+        parts = [self.scenario, f"seed={self.seed}"]
+        parts += [f"{name}={_brief(value)}"
+                  for name, value in self.overrides]
+        return " ".join(parts)
+
+
+def _brief(value: Any) -> str:
+    if isinstance(value, tuple):
+        return "+".join(str(v) for v in value)
+    return str(value)
+
+
+@dataclass
+class CellResult:
+    """A finished cell: its rows (tagged with cell identity) or error."""
+
+    cell: SweepCell
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    elapsed: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def freeze_overrides(overrides: Dict[str, Any]) -> Overrides:
+    return tuple(sorted(
+        (name, tuple(value) if isinstance(value, list) else value)
+        for name, value in overrides.items()))
+
+
+def expand_grid(scenarios: Sequence[str], seeds: Sequence[int],
+                axes: Optional[Dict[str, Sequence[Any]]] = None
+                ) -> List[SweepCell]:
+    """The cross product scenario x seed x (every axis value combo).
+
+    *axes* maps param names to the values to sweep; every named param
+    must exist (and be sweepable) on every selected scenario. For
+    list-typed params each axis value becomes a singleton list — e.g.
+    sweeping ``protocols`` over ``arppath,stp`` runs each protocol as
+    its own cell.
+    """
+    points: List[Dict[str, Any]] = [{}]
+    for name, values in (axes or {}).items():
+        for scenario_name in scenarios:
+            scenario = registry.get(scenario_name)
+            param = scenario.param(name)  # raises on unknown
+            if not param.sweep:
+                raise ValueError(
+                    f"{scenario_name}: parameter {name!r} cannot be a "
+                    "sweep axis")
+        points = [dict(point, **{name: value})
+                  for point in points for value in values]
+
+    cells = []
+    for scenario_name in scenarios:
+        scenario = registry.get(scenario_name)
+        for point in points:
+            shaped = {
+                name: [value] if scenario.param(name).is_list
+                and not isinstance(value, (list, tuple)) else value
+                for name, value in point.items()}
+            for seed in seeds:
+                cells.append(SweepCell(index=len(cells),
+                                       scenario=scenario_name, seed=seed,
+                                       overrides=freeze_overrides(shaped)))
+    return cells
+
+
+def execute_cell(cell: SweepCell) -> CellResult:
+    """Run one cell to rows (module-level so pool workers can pickle it)."""
+    registry.load_all()
+    scenario = registry.get(cell.scenario)
+    started = time.perf_counter()
+    try:
+        params = scenario.bind(cell.params())
+        params["seeds"] = [cell.seed]
+        result = scenario.run(**params)
+        rows = []
+        for row in scenario.records(result):
+            tagged: Dict[str, Any] = {"scenario": cell.scenario}
+            tagged.update(row)
+            tagged["seed"] = cell.seed
+            for name, value in cell.overrides:
+                tagged.setdefault(name, _brief(value)
+                                  if isinstance(value, tuple) else value)
+            rows.append(tagged)
+    except Exception:
+        return CellResult(cell=cell, error=traceback.format_exc(),
+                          elapsed=time.perf_counter() - started)
+    return CellResult(cell=cell, rows=rows,
+                      elapsed=time.perf_counter() - started)
+
+
+class SweepRunner:
+    """Execute sweep cells, in process or on a multiprocessing pool."""
+
+    def __init__(self, cells: Sequence[SweepCell], jobs: int = 1):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.cells = list(cells)
+        self.jobs = jobs
+
+    def stream(self) -> Iterator[CellResult]:
+        """Yield each cell's result as it completes (unordered when
+        parallel)."""
+        if self.jobs == 1 or len(self.cells) <= 1:
+            for cell in self.cells:
+                yield execute_cell(cell)
+            return
+        context = multiprocessing.get_context()
+        with context.Pool(processes=min(self.jobs, len(self.cells))) \
+                as pool:
+            for result in pool.imap_unordered(execute_cell, self.cells):
+                yield result
+
+    def run(self) -> "SweepReport":
+        """Execute every cell and return the collected report."""
+        results = sorted(self.stream(), key=lambda r: r.cell.index)
+        return SweepReport(cells=results)
+
+
+@dataclass
+class SweepReport:
+    """All cell results plus seed-aggregated summaries."""
+
+    cells: List[CellResult]
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.cells)
+
+    @property
+    def errors(self) -> List[CellResult]:
+        return [result for result in self.cells if not result.ok]
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Every tagged row from every successful cell, in cell order."""
+        out: List[Dict[str, Any]] = []
+        for result in self.cells:
+            out.extend(result.rows)
+        return out
+
+    def summary_rows(self) -> List[Dict[str, Any]]:
+        """Rows aggregated over seeds (mean/ci95 per numeric column).
+
+        Sweep-axis columns identify a grid point rather than measure
+        it, so they join the scenario's ``row_keys`` as group keys.
+        """
+        by_scenario: Dict[str, List[Dict[str, Any]]] = {}
+        axis_names: Dict[str, set] = {}
+        for result in self.cells:
+            names = axis_names.setdefault(result.cell.scenario, set())
+            names.update(name for name, _ in result.cell.overrides)
+        for row in self.rows():
+            by_scenario.setdefault(row["scenario"], []).append(row)
+        out: List[Dict[str, Any]] = []
+        for name in sorted(by_scenario):
+            scenario = registry.get(name)
+            keys = tuple(scenario.row_keys) \
+                + tuple(sorted(axis_names.get(name, ())))
+            out.extend(aggregate_rows(by_scenario[name], key_fields=keys))
+        return out
+
+    def as_payload(self) -> Dict[str, Any]:
+        """The JSON artifact: cells, raw rows and aggregated summary."""
+        return {
+            "cells": [{"index": r.cell.index,
+                       "scenario": r.cell.scenario,
+                       "seed": r.cell.seed,
+                       "overrides": dict((k, list(v)
+                                          if isinstance(v, tuple) else v)
+                                         for k, v in r.cell.overrides),
+                       "elapsed_s": round(r.elapsed, 6),
+                       "error": r.error}
+                      for r in self.cells],
+            "rows": self.rows(),
+            "summary": self.summary_rows(),
+        }

@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
+from repro.experiments import registry
 from repro.experiments.common import ProtocolSpec, build_and_warm, spec
 from repro.metrics.paths import (PathObserver, min_latency_path,
                                  path_latency)
@@ -77,6 +78,20 @@ class StretchResult:
         return format_table(headers, body,
                             title="EXP-P1 — path stretch vs latency oracle")
 
+    def records(self) -> List[Dict[str, Any]]:
+        out = []
+        for row in self.rows:
+            stats = row.summary()
+            out.append({"protocol": row.protocol,
+                        "seed": row.topology_seed,
+                        "pairs": stats.count if stats else 0,
+                        "stretch_mean": stats.mean if stats else None,
+                        "stretch_p95": stats.p95 if stats else None,
+                        "stretch_max": stats.max if stats else None,
+                        "optimal_frac": row.optimal_fraction
+                        if stats else None})
+        return out
+
 
 def measure_pair(net, src: str, dst: str, probes: int = 3
                  ) -> StretchSample:
@@ -126,3 +141,30 @@ def run(n_bridges: int = 10, hosts: int = 4, seeds: List[int] = [0, 1, 2],
             result.rows.append(run_protocol(protocol, n_bridges=n_bridges,
                                             hosts=hosts, seed=seed))
     return result
+
+
+def _stretch_scenario(seeds: List[int], bridges: int, hosts: int,
+                      protocols: List[str],
+                      stp_scale: Optional[float]) -> StretchResult:
+    chosen = registry.protocol_specs(protocols, stp_scale=stp_scale)
+    return run(n_bridges=bridges, hosts=hosts, seeds=seeds,
+               protocols=chosen)
+
+
+registry.register(registry.Scenario(
+    name="stretch",
+    title="EXP-P1: path stretch vs latency oracle",
+    params=(
+        registry.Param("bridges", int, 10, help="bridges per random graph"),
+        registry.Param("hosts", int, 4, help="hosts per random graph"),
+        registry.Param("protocols", str, ["arppath", "stp"],
+                       nargs="+", choices=("arppath", "stp", "spb"),
+                       help="protocols to compare"),
+        registry.Param("stp_scale", float, None,
+                       help="STP timer scale (default: IEEE timers)"),
+        registry.seeds_param([0, 1, 2]),
+    ),
+    run=_stretch_scenario,
+    smoke={"bridges": 5, "hosts": 2, "seeds": [0],
+           "protocols": ["arppath"]},
+))

@@ -1,13 +1,20 @@
-"""Plain-text result tables.
+"""Plain-text result tables and machine-readable artifacts.
 
 The demo's Perl/Tk GUI is replaced by text reports: every experiment
 prints a table via :func:`format_table`, and the benches tee the same
 rows into EXPERIMENTS.md.
+
+Every experiment result additionally implements the unified row
+protocol — a ``records()`` method returning flat dicts of primitives —
+which :func:`records` adapts and :func:`write_json` / :func:`write_csv`
+persist, so sweep outputs are diffable and scriptable.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Optional, Sequence
+import csv
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 
 def format_cell(value: Any) -> str:
@@ -65,3 +72,46 @@ def ms(seconds: float) -> str:
 def s(seconds: float) -> str:
     """Seconds rendered with 3 decimals."""
     return f"{seconds:.3f}s"
+
+
+def records(result: Any) -> List[Dict[str, Any]]:
+    """The unified row protocol: *result*'s machine-readable rows.
+
+    Every experiment result implements ``records() -> List[Dict]`` with
+    primitive values only (str/bool/int/float/None), keyed identically
+    across runs so repeated seeds can be aggregated column-wise.
+    """
+    method = getattr(result, "records", None)
+    if method is None:
+        raise TypeError(
+            f"{type(result).__name__} does not implement the result row "
+            "protocol (records() -> List[Dict])")
+    return method()
+
+
+def csv_columns(rows: Sequence[Dict[str, Any]]) -> List[str]:
+    """Union of row keys in first-seen order (stable artifact layout)."""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def write_csv(path: str, rows: Sequence[Dict[str, Any]]) -> None:
+    """Write *rows* as CSV; missing cells and Nones render empty."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=csv_columns(rows),
+                                restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({k: ("" if v is None else v)
+                             for k, v in row.items()})
+
+
+def write_json(path: str, payload: Any) -> None:
+    """Write *payload* as stable, indented JSON."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

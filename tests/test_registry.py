@@ -1,0 +1,105 @@
+"""Tests for the scenario registry contract."""
+
+import pytest
+
+from repro.experiments import registry
+
+
+class TestRegistration:
+    def test_all_eight_experiments_plus_ping(self):
+        names = registry.names()
+        for expected in ("fig2", "fig3", "stretch", "loopfree", "proxy",
+                         "loadbalance", "ablations", "occupancy", "ping"):
+            assert expected in names
+
+    def test_every_scenario_has_uniform_seeds_param(self):
+        for scenario in registry.all_scenarios():
+            param = scenario.param("seeds")
+            assert param.nargs == "+"
+            assert isinstance(param.default, list)
+            assert all(isinstance(s, int) for s in param.default)
+
+    def test_every_scenario_declares_smoke_params(self):
+        for scenario in registry.all_scenarios():
+            bound = scenario.bind(scenario.smoke)  # must validate
+            assert set(scenario.smoke) <= set(bound)
+
+    def test_duplicate_registration_rejected(self):
+        scenario = registry.get("proxy")
+        with pytest.raises(ValueError):
+            registry.register(scenario)
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            registry.get("nonesuch")
+
+
+class TestParamSpec:
+    def test_flag_derivation(self):
+        param = registry.Param("cross_latency_us", float, 500.0)
+        assert param.flag == "--cross-latency-us"
+
+    def test_parse_coerces_and_validates_choices(self):
+        param = registry.Param("protocol", str, "arppath",
+                               choices=("arppath", "stp"))
+        assert param.parse("stp") == "stp"
+        with pytest.raises(ValueError):
+            param.parse("trill")
+
+    def test_bind_fills_defaults_and_rejects_unknown(self):
+        scenario = registry.get("stretch")
+        bound = scenario.bind({"bridges": 6})
+        assert bound["bridges"] == 6
+        assert bound["hosts"] == 4  # untouched default
+        with pytest.raises(KeyError):
+            scenario.bind({"bogus": 1})
+
+    def test_bind_copies_list_defaults(self):
+        scenario = registry.get("stretch")
+        scenario.bind()["seeds"].append(99)
+        assert 99 not in scenario.bind()["seeds"]
+
+
+class TestSeededAdapter:
+    def test_multi_seed_concatenates_rows(self):
+        class FakeResult:
+            def __init__(self, seed):
+                self.rows = [{"seed": seed}]
+
+        run = registry.seeded(lambda seed: FakeResult(seed))
+        merged = run([3, 4, 5])
+        assert [row["seed"] for row in merged.rows] == [3, 4, 5]
+
+    def test_empty_seeds_rejected(self):
+        run = registry.seeded(lambda seed: None)
+        with pytest.raises(ValueError):
+            run([])
+
+
+class TestResultRowProtocol:
+    """Every scenario's result emits machine-readable rows."""
+
+    @pytest.fixture(scope="class")
+    def proxy_result(self):
+        scenario = registry.get("proxy")
+        return scenario, scenario.execute(**scenario.smoke)
+
+    def test_records_are_flat_primitive_dicts(self, proxy_result):
+        scenario, result = proxy_result
+        rows = scenario.records(result)
+        assert rows
+        for row in rows:
+            for value in row.values():
+                assert value is None or isinstance(
+                    value, (str, bool, int, float))
+
+    def test_report_contains_table(self, proxy_result):
+        scenario, result = proxy_result
+        assert "EXP-A1" in scenario.report(result)
+
+    def test_protocol_specs_helper_scales_stp(self):
+        full, = registry.protocol_specs(["stp"])
+        scaled, = registry.protocol_specs(["stp"], stp_scale=0.1)
+        assert full.name == "stp"
+        assert scaled.name == "stp(x0.1)"
+        assert scaled.warmup < full.warmup
