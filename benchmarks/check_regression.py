@@ -1,0 +1,102 @@
+"""Bench regression guard: fresh numbers vs the checked-in baselines.
+
+Re-measures the engine (``bench_timerwheel.regenerate_baseline``) and
+sweep-runner (``bench_sweep.regenerate_baseline``) benchmarks, writes
+the fresh JSON next to ``--out-dir`` (CI uploads it as an artifact),
+and compares the throughput figures against ``BENCH_engine.json`` /
+``BENCH_sweep.json`` with a generous noise tolerance.
+
+Per the bench-noise protocol, wall-clock numbers on shared runners are
+noisy (easily ±30-40%), so the guard only fails on a drop larger than
+``--tolerance`` (default 40%) — it catches order-of-magnitude
+regressions (an accidentally quadratic hot path), not percent-level
+drift. Parallel sweep figures are only compared when the runner has
+the same CPU count the baseline was recorded on.
+
+Usage (CI runs exactly this)::
+
+    PYTHONPATH=src python benchmarks/check_regression.py --out-dir fresh
+
+Exit status 0 = within tolerance, 1 = regression.
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(HERE), "src"))
+sys.path.insert(0, HERE)
+
+import bench_sweep  # noqa: E402  (path set up above)
+import bench_timerwheel  # noqa: E402
+
+
+def _load(name):
+    with open(os.path.join(HERE, name)) as handle:
+        return json.load(handle)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="compare fresh bench numbers against the baselines")
+    parser.add_argument("--tolerance", type=float, default=0.40,
+                        help="allowed fractional throughput drop "
+                             "(default 0.40 = 40%%)")
+    parser.add_argument("--out-dir", default="bench-fresh",
+                        help="directory for the freshly measured JSON")
+    args = parser.parse_args(argv)
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    fresh_engine = bench_timerwheel.regenerate_baseline(
+        os.path.join(args.out_dir, "BENCH_engine.json"))
+    fresh_sweep = bench_sweep.regenerate_baseline(
+        os.path.join(args.out_dir, "BENCH_sweep.json"))
+    base_engine = _load("BENCH_engine.json")
+    base_sweep = _load("BENCH_sweep.json")
+
+    # (label, baseline, fresh) — all higher-is-better throughputs.
+    checks = [
+        ("engine flood events/s",
+         base_engine["workloads"]["flood_grid4x4"]["events_per_sec"],
+         fresh_engine["workloads"]["flood_grid4x4"]["events_per_sec"]),
+        ("wheel churn rounds/s",
+         1.0 / base_engine["workloads"]["timer_churn_wheel"]
+         ["wall_seconds"],
+         1.0 / fresh_engine["workloads"]["timer_churn_wheel"]
+         ["wall_seconds"]),
+        ("sweep jobs=1 cells/s",
+         base_sweep["jobs_1"]["cells_per_sec"],
+         fresh_sweep["jobs_1"]["cells_per_sec"]),
+    ]
+    if fresh_sweep["cpus"] == base_sweep["cpus"]:
+        jobs_key = next(k for k in base_sweep if k.startswith("jobs_")
+                        and k != "jobs_1")
+        checks.append((f"sweep {jobs_key} cells/s",
+                       base_sweep[jobs_key]["cells_per_sec"],
+                       fresh_sweep[jobs_key]["cells_per_sec"]))
+    else:
+        print(f"note: skipping parallel sweep check (baseline cpus="
+              f"{base_sweep['cpus']}, here {fresh_sweep['cpus']})")
+
+    failed = False
+    floor = 1.0 - args.tolerance
+    for label, baseline, fresh in checks:
+        ratio = fresh / baseline
+        verdict = "ok" if ratio >= floor else "REGRESSION"
+        failed |= ratio < floor
+        print(f"{label:28s} baseline {baseline:12.1f}  "
+              f"fresh {fresh:12.1f}  ratio {ratio:5.2f}  {verdict}")
+    if failed:
+        print(f"FAIL: throughput dropped more than "
+              f"{args.tolerance:.0%} below baseline")
+        return 1
+    print(f"all checks within {args.tolerance:.0%} of baseline "
+          f"(cpus here: {multiprocessing.cpu_count()})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -161,6 +161,21 @@ class ArpPathBridge(Bridge):
         """Stop periodic processes (used when tearing a bridge down)."""
         if self._hello_timer is not None:
             self._hello_timer.stop()
+            self._hello_timer = None
+
+    def reset_state(self) -> None:
+        """Power-cycle wipe: locked table, repairs, neighbours, proxy.
+
+        The NetFPGA loses its whole locked table on reboot — paths
+        through a restarted bridge must be re-discovered (or repaired)
+        from scratch, which is exactly what churn experiments measure.
+        """
+        self.table.flush()
+        self.apc.drops_buffer += self.repair.reset()
+        self.neighbors.clear()
+        self._neighbor_until.clear()
+        if self.proxy is not None:
+            self.proxy.clear()
 
     def _send_hellos(self) -> None:
         self._hello_seq += 1

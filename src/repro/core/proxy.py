@@ -82,5 +82,9 @@ class ArpProxy:
     def invalidate(self, ip: IPv4Address) -> None:
         self._bindings.pop(ip, None)
 
+    def clear(self) -> None:
+        """Forget every snooped binding (bridge restart)."""
+        self._bindings.clear()
+
     def __len__(self) -> int:
         return len(self._bindings)

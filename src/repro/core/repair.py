@@ -143,6 +143,17 @@ class RepairManager:
         self.repair_times.append(now - state.started_at)
         return list(state.buffer)
 
+    def reset(self) -> int:
+        """Abandon every pending repair (bridge restart).
+
+        Cancels all retry timers and returns the total number of
+        buffered frames dropped.
+        """
+        dropped = 0
+        for target in self.pending_targets:
+            dropped += self.abandon(target)
+        return dropped
+
     def abandon(self, target: MAC) -> int:
         """Give up on *target*; returns the number of frames dropped."""
         state = self._pending.pop(target, None)

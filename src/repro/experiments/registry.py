@@ -31,14 +31,15 @@ _SCENARIOS: Dict[str, "Scenario"] = {}
 
 #: Canonical presentation order (CLI subcommands, listings). Scenarios
 #: not named here are appended in registration order.
-_ORDER = ("fig2", "fig3", "stretch", "loopfree", "proxy", "loadbalance",
-          "ablations", "occupancy", "ping")
+_ORDER = ("fig2", "fig3", "churn", "stretch", "loopfree", "proxy",
+          "loadbalance", "ablations", "occupancy", "ping")
 
 #: The experiment modules that self-register scenarios, in the order
 #: their subcommands should appear.
 _MODULES = (
     "repro.experiments.fig2_latency",
     "repro.experiments.fig3_repair",
+    "repro.experiments.churn",
     "repro.experiments.stretch",
     "repro.experiments.loopfree",
     "repro.experiments.broadcast",

@@ -1,0 +1,143 @@
+"""Availability, downtime and repair-latency measurement.
+
+Where :mod:`repro.metrics.convergence` measures the outage caused by
+*one known failure*, this module characterises a probe stream over a
+whole measurement window under *sustained churn*, where failures
+overlap and nobody hands you the failure times: the observable is the
+arrival process itself.
+
+A gap between consecutive arrivals longer than ``gap_threshold`` send
+intervals is an :class:`Outage`; its downtime is the gap minus the one
+interval that would have elapsed anyway. The window edges count too —
+a stream that never recovers contributes downtime until the window
+closes. :func:`measure_availability` folds the outage list into the
+scalar rows (availability fraction, total downtime, mean/worst repair
+time) that the churn experiment reports and the sweep runner
+aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+#: Gap factor above which an inter-arrival gap counts as an outage —
+#: matches the video sink's stall threshold (2.5 frame intervals).
+DEFAULT_GAP_THRESHOLD = 2.5
+
+
+@dataclass(frozen=True)
+class Outage:
+    """One continuous stretch of missing traffic.
+
+    *start* is the last good arrival (or the window start), *end* the
+    arrival that ended the outage (or the window end). *repaired* is
+    False for a tail outage the window cut off before recovery.
+    """
+
+    start: float
+    end: float
+    repaired: bool = True
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def detect_outages(arrivals: Sequence[float], send_interval: float,
+                   window_start: float, window_end: float,
+                   gap_threshold: float = DEFAULT_GAP_THRESHOLD
+                   ) -> List[Outage]:
+    """Outages a continuous stream shows inside the window.
+
+    *arrivals* need not be pre-filtered; arrivals outside the window
+    are ignored. An empty window of arrivals is one unrepaired outage
+    spanning the whole window.
+    """
+    if window_end < window_start:
+        raise ValueError(f"window ends before it starts: "
+                         f"[{window_start}, {window_end}]")
+    if send_interval <= 0:
+        raise ValueError(f"send interval must be positive: {send_interval}")
+    inside = [t for t in arrivals if window_start <= t <= window_end]
+    limit = gap_threshold * send_interval
+    outages: List[Outage] = []
+    if not inside:
+        if window_end - window_start > limit:
+            outages.append(Outage(start=window_start, end=window_end,
+                                  repaired=False))
+        return outages
+    if inside[0] - window_start > limit:
+        outages.append(Outage(start=window_start, end=inside[0]))
+    for prev, cur in zip(inside, inside[1:]):
+        if cur - prev > limit:
+            outages.append(Outage(start=prev, end=cur))
+    if window_end - inside[-1] > limit:
+        outages.append(Outage(start=inside[-1], end=window_end,
+                              repaired=False))
+    return outages
+
+
+@dataclass(frozen=True)
+class Availability:
+    """Scalar availability summary of one stream over one window.
+
+    ``mttr``/``worst_outage`` summarise *repaired* outages only — an
+    outage the window truncated has no known repair time; it is
+    visible in ``unrepaired`` and in ``downtime`` instead.
+    """
+
+    window: float
+    downtime: float
+    outages: int
+    unrepaired: int
+    mttr: float
+    worst_outage: float
+
+    @property
+    def repaired(self) -> int:
+        """Outages that recovered inside the window."""
+        return self.outages - self.unrepaired
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the window the stream was flowing (0..1)."""
+        if self.window <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.downtime / self.window)
+
+    def as_row(self) -> Dict[str, Any]:
+        """Flat numeric cells, stable keys (records() building block)."""
+        return {"availability": self.availability,
+                "downtime": self.downtime,
+                "outages": self.outages,
+                "unrepaired": self.unrepaired,
+                "mttr": self.mttr if self.repaired else None,
+                "worst_outage": self.worst_outage if self.repaired
+                else None}
+
+
+def measure_availability(arrivals: Sequence[float], send_interval: float,
+                         window_start: float, window_end: float,
+                         gap_threshold: float = DEFAULT_GAP_THRESHOLD
+                         ) -> Availability:
+    """Summarise a probe stream's availability over the window.
+
+    Each outage's downtime is its duration minus one send interval
+    (the gap an unbroken stream would show anyway); repaired outage
+    durations are also the repair-latency series (``mttr`` /
+    ``worst_outage``).
+    """
+    found = detect_outages(arrivals, send_interval, window_start,
+                           window_end, gap_threshold=gap_threshold)
+    window = window_end - window_start
+    downtime = sum(max(outage.duration - send_interval, 0.0)
+                   for outage in found)
+    durations = [outage.duration for outage in found if outage.repaired]
+    return Availability(
+        window=window,
+        downtime=min(downtime, window),
+        outages=len(found),
+        unrepaired=sum(1 for outage in found if not outage.repaired),
+        mttr=sum(durations) / len(durations) if durations else 0.0,
+        worst_outage=max(durations) if durations else 0.0)

@@ -35,7 +35,8 @@ DEFAULT_QUEUE_CAPACITY = 64
 class _Direction:
     """Transmitter state for one direction of the link."""
 
-    __slots__ = ("queue", "busy", "pending", "tx_event", "queue_drops")
+    __slots__ = ("queue", "busy", "pending", "tx_event", "queue_drops",
+                 "carrier_drops")
 
     def __init__(self, capacity: int):
         # Capacity is enforced in Link.transmit (not via maxlen) so that
@@ -47,6 +48,9 @@ class _Direction:
         self.tx_event: Optional[Event] = None
         #: Frames tail-dropped because the queue was full.
         self.queue_drops = 0
+        #: Frames lost to carrier loss: queued or in flight when the
+        #: link went down, or handed to a downed transmitter.
+        self.carrier_drops = 0
 
 
 class Link:
@@ -103,6 +107,7 @@ class Link:
     def transmit(self, from_port: Port, frame: EthernetFrame) -> None:
         """Queue *frame* for transmission from *from_port*."""
         if not self.up:
+            self._dirs[from_port].carrier_drops += 1
             self._trace(trc.DROP_LINK_DOWN, frame)
             return
         direction = self._dirs[from_port]
@@ -155,12 +160,14 @@ class Link:
         self.up = False
         for direction in self._dirs.values():
             for frame in direction.queue:
+                direction.carrier_drops += 1
                 self._trace(trc.DROP_LINK_DOWN, frame)
             direction.queue.clear()
             for event in direction.pending:
                 if not event.cancelled and event.time >= self.sim.now:
                     event.cancel()
                     # args = (from_port, direction, frame) of _deliver.
+                    direction.carrier_drops += 1
                     self._trace(trc.DROP_LINK_DOWN, event.args[2])
             direction.pending.clear()
             if direction.tx_event is not None:
@@ -189,15 +196,24 @@ class Link:
         return {port.name: direction.queue_drops
                 for port, direction in self._dirs.items()}
 
+    @property
+    def carrier_drops(self) -> Dict[str, int]:
+        """Carrier-loss drop count per direction, keyed by the sending
+        port name (frames queued or in flight when carrier was lost)."""
+        return {port.name: direction.carrier_drops
+                for port, direction in self._dirs.items()}
+
     def stats(self) -> Dict[str, Dict[str, object]]:
         """Per-direction transmitter state, keyed by the sending port name.
 
         Each direction reports its current queue depth, whether the
-        transmitter is busy, and the cumulative tail-drop count.
+        transmitter is busy, and the cumulative tail-drop and
+        carrier-loss drop counts.
         """
         return {port.name: {"queued": len(direction.queue),
                             "busy": direction.busy,
-                            "queue_drops": direction.queue_drops}
+                            "queue_drops": direction.queue_drops,
+                            "carrier_drops": direction.carrier_drops}
                 for port, direction in self._dirs.items()}
 
     # -- tracing ---------------------------------------------------------

@@ -102,8 +102,24 @@ class SpbBridge(Bridge):
         """Stop periodic processes."""
         if self._hello_timer is not None:
             self._hello_timer.stop()
+            self._hello_timer = None
         if self._refresh_timer is not None:
             self._refresh_timer.stop()
+            self._refresh_timer = None
+
+    def reset_state(self) -> None:
+        """Power-cycle wipe: adjacencies, attached hosts, the LSDB.
+
+        ``_own_seq`` survives on purpose — a restarted router that
+        remembers its sequence number re-floods an LSP its neighbours
+        accept immediately, instead of being shadowed by its own stale
+        LSP until max-age expiry.
+        """
+        self._neighbor.clear()
+        self._local_hosts.clear()
+        self._lsdb.clear()
+        self._spf_cache.clear()
+        self._bump_version()
 
     def _on_hello_tick(self) -> None:
         self._send_hellos()

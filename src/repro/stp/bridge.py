@@ -219,6 +219,30 @@ class StpBridge(Bridge):
         """Stop periodic processes."""
         if self._hello_timer is not None:
             self._hello_timer.stop()
+            self._hello_timer = None
+
+    def reset_state(self) -> None:
+        """Power-cycle wipe: FDB, stored BPDUs, roles, root knowledge.
+
+        A restarted 802.1D bridge boots believing it is the root; the
+        next :meth:`start` re-runs election from BPDUs it receives.
+        """
+        self.fdb.flush()
+        self.fdb.restore_aging()
+        for info in self._port_info.values():
+            info.clear_stored()
+            info.cancel_transition()
+            info.role = PortRole.DISABLED
+            info.state = PortState.DISABLED
+            info.send_tca = False
+        self.root_id = self.bid
+        self.root_cost = 0
+        self.root_port = None
+        if self._tc_while_event is not None:
+            self._tc_while_event.cancel()
+            self._tc_while_event = None
+        self._tc_active = False
+        self._tcn_awaiting_ack = False
 
     def link_state_changed(self, port: Port, up: bool) -> None:
         info = self.info_for(port)

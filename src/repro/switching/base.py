@@ -139,6 +139,21 @@ class Bridge(Node):
         self.mac = mac
         self.counters = BridgeCounters()
 
+    # -- lifecycle ---------------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop periodic processes (crash/teardown). Default: nothing."""
+
+    def reset_state(self) -> None:
+        """Wipe dynamic protocol state, as a power cycle would.
+
+        Called between :meth:`stop` and a renewed :meth:`start` when a
+        bridge restarts (:meth:`repro.topology.builder.Network
+        .restart_bridge`). Families clear their learnt tables, caches
+        and pending protocol exchanges here; configuration and
+        counters survive.
+        """
+
     # -- pipeline entry ----------------------------------------------------
 
     def handle_frame(self, port: Port, frame: EthernetFrame) -> None:

@@ -47,3 +47,7 @@ class LearningSwitch(Bridge):
     def link_state_changed(self, port: Port, up: bool) -> None:
         if not up:
             self.fdb.flush_port(port)
+
+    def reset_state(self) -> None:
+        """Power-cycle wipe: forget every learnt address."""
+        self.fdb.flush()

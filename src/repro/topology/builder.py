@@ -9,7 +9,7 @@ switch — exactly how the demo reuses one wiring for both protocols.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.frames.ipv4 import IPv4Address, ip_for_host
 from repro.frames.mac import MAC, mac_for_bridge, mac_for_host
@@ -23,6 +23,10 @@ from repro.switching.base import Bridge
 
 #: A bridge factory builds one bridge: (sim, name, mac) -> Bridge.
 BridgeFactory = Callable[[Simulator, str, MAC], Bridge]
+
+#: Sentinel: "keep the detached link's value" (None means infinite
+#: bandwidth, so it cannot double as the default).
+_KEEP: Any = object()
 
 
 class Network:
@@ -146,6 +150,95 @@ class Network:
         if wire is None:
             raise TopologyError(f"no link between {a} and {b}")
         return wire
+
+    # -- dynamics (churn primitives) ---------------------------------------
+
+    def detach(self, host_name: str) -> str:
+        """Unplug a host: carrier drops, the link is unregistered.
+
+        Queued and in-flight frames on the host link are lost (it is a
+        cable pull) and both ports become reattachable. Returns the
+        name of the bridge the host was attached to.
+        """
+        host = self.host(host_name)
+        wire = host.port.link
+        if wire is None:
+            raise TopologyError(f"host {host_name} is not attached")
+        bridge_name = wire.other(host.port).node.name
+        wire.take_down()
+        del self.links[wire.name]
+        wire.port_a.link = None
+        wire.port_b.link = None
+        return bridge_name
+
+    def migrate_host(self, host_name: str, bridge_name: str,
+                     latency: Optional[float] = None,
+                     bandwidth: Optional[float] = _KEEP,
+                     announce: bool = True) -> Link:
+        """Move a host to another edge bridge (detach + reattach).
+
+        The new access link keeps the old one's latency and bandwidth
+        unless overridden — the host moved, its NIC didn't. With
+        *announce* (the default on a started network) the host sends a
+        gratuitous ARP right after reattaching — what a migrating VM
+        does — so the fabric re-learns its location instead of waiting
+        for stale paths to fail.
+        """
+        self.bridge(bridge_name)  # validate before detaching anything
+        old = self.host(host_name).port.link
+        if old is not None:
+            if latency is None:
+                latency = old.latency
+            if bandwidth is _KEEP:
+                bandwidth = old.bandwidth
+        if latency is None:
+            latency = DEFAULT_LATENCY
+        if bandwidth is _KEEP:
+            bandwidth = DEFAULT_BANDWIDTH
+        self.detach(host_name)
+        wire = self.attach(host_name, bridge_name, latency=latency,
+                           bandwidth=bandwidth)
+        if announce and self._started:
+            self.sim.call_soon(self.host(host_name).gratuitous_arp)
+        return wire
+
+    def crash_bridge(self, name: str) -> List[str]:
+        """Power-fail a bridge: every attached link loses carrier and
+        the bridge's periodic processes stop.
+
+        Dynamic state is wiped at :meth:`restart_bridge` time (the
+        power cycle), not here — a dead bridge's memory is simply
+        unreachable. Returns the names of the links taken down, for a
+        matching restart.
+        """
+        bridge = self.bridge(name)
+        affected: List[str] = []
+        for link_name, wire in self.links.items():
+            if wire.up and (wire.port_a.node is bridge
+                            or wire.port_b.node is bridge):
+                affected.append(link_name)
+        for link_name in affected:
+            self.links[link_name].take_down()
+        bridge.stop()
+        return affected
+
+    def restart_bridge(self, name: str,
+                       links: Optional[Iterable[str]] = None) -> None:
+        """Power-cycle recovery: wipe dynamic state, restore carrier on
+        *links* (default: every still-registered link of the bridge),
+        and start the bridge's control plane afresh."""
+        bridge = self.bridge(name)
+        bridge.stop()  # idempotent; guards against a start without a crash
+        bridge.reset_state()
+        if links is None:
+            links = [link_name for link_name, wire in self.links.items()
+                     if wire.port_a.node is bridge
+                     or wire.port_b.node is bridge]
+        for link_name in links:
+            wire = self.links.get(link_name)
+            if wire is not None:
+                wire.bring_up()
+        bridge.start()
 
     def mark_static_roles(self) -> int:
         """Statically classify bridge ports from the wiring (NetFPGA-style).

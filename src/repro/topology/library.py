@@ -245,6 +245,34 @@ def random_graph(sim: Simulator, factory: BridgeFactory, n: int,
     return net
 
 
+#: Named wirings the dynamic (churn) scenarios sweep over; each builds
+#: a network and nominates a (source, sink) host pair for probe traffic.
+CHURN_TOPOLOGIES = ("demo", "line", "ring", "grid")
+#: The subset without redundant fabric paths — the only wirings a plain
+#: learning switch survives (no loops, no broadcast storm).
+LOOP_FREE_TOPOLOGIES = ("line",)
+
+
+def churn_topology(sim: Simulator, factory: BridgeFactory, name: str,
+                   seed: int = 0) -> Tuple[Network, str, str]:
+    """Build the named churn wiring; returns ``(net, src_host, dst_host)``.
+
+    The host pair sits at maximum separation so fabric churn between
+    them is observable on a probe stream.
+    """
+    if name == "demo":
+        return netfpga_demo(sim, factory), "A", "B"
+    if name == "line":
+        return line(sim, factory, 4), "H0", "H1"
+    if name == "ring":
+        return ring(sim, factory, 4), "H0", "H2"
+    if name == "grid":
+        return grid(sim, factory, 3, 3, latency_jitter=2e-6,
+                    seed=seed), "H0", "H3"
+    raise TopologyError(f"unknown churn topology {name!r} "
+                        f"(have: {', '.join(CHURN_TOPOLOGIES)})")
+
+
 def pair(sim: Simulator, factory: BridgeFactory,
          latency: float = FAST_LINK) -> Network:
     """The smallest interesting network: two bridges, two hosts."""

@@ -69,7 +69,15 @@ def from_spec(sim: Simulator, spec: Dict[str, Any],
         options = dict(options or {})
         protocol = options.pop("protocol", None)
         if protocol is not None:
-            net.add_bridge(name, factory=factory_for(protocol, **options))
+            try:
+                net.add_bridge(name,
+                               factory=factory_for(protocol, **options))
+            except TypeError as error:
+                # A misspelled factory option surfaces as a TypeError
+                # deep inside the factory; name the keys instead.
+                raise TopologyError(
+                    f"bridge {name}: unknown or invalid option(s) "
+                    f"{sorted(options)}: {error}") from error
         elif options:
             raise TopologyError(
                 f"bridge {name}: options {sorted(options)} need an "
@@ -78,6 +86,9 @@ def from_spec(sim: Simulator, spec: Dict[str, Any],
             net.add_bridge(name)
 
     for name in spec.get("hosts", []):
+        if not isinstance(name, str):
+            raise TopologyError(
+                f"host entries must be plain names, got {name!r}")
         net.add_host(name)
 
     for entry in spec.get("links", []):
@@ -86,6 +97,10 @@ def from_spec(sim: Simulator, spec: Dict[str, Any],
             raise TopologyError(
                 f"link {entry.get('a')}-{entry.get('b')}: unknown keys "
                 f"{sorted(unknown)}")
+        missing = {"a", "b"} - set(entry)
+        if missing:
+            raise TopologyError(
+                f"link entry missing key(s) {sorted(missing)}: {entry}")
         kwargs = _link_kwargs(entry)
         if "queue" in entry:
             kwargs["queue_capacity"] = int(entry["queue"])
@@ -99,6 +114,10 @@ def from_spec(sim: Simulator, spec: Dict[str, Any],
             raise TopologyError(
                 f"attach {entry.get('host')}: unknown keys "
                 f"{sorted(unknown)}")
+        missing = {"host", "bridge"} - set(entry)
+        if missing:
+            raise TopologyError(
+                f"attach entry missing key(s) {sorted(missing)}: {entry}")
         net.attach(entry["host"], entry["bridge"], **_link_kwargs(entry))
 
     if spec.get("static_roles"):
@@ -109,8 +128,20 @@ def from_spec(sim: Simulator, spec: Dict[str, Any],
 def from_json(sim: Simulator, path: str,
               default_factory: Optional[BridgeFactory] = None,
               default_protocol: str = "arppath") -> Network:
-    """Load a topology spec from a JSON file."""
+    """Load a topology spec from a JSON file.
+
+    Malformed JSON and non-object top levels raise
+    :class:`TopologyError` naming the file, so a broken cabling plan
+    fails with a topology error rather than a bare parser traceback.
+    """
     with open(path) as handle:
-        spec = json.load(handle)
+        try:
+            spec = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise TopologyError(f"{path}: invalid JSON: {error}") from error
+    if not isinstance(spec, dict):
+        raise TopologyError(
+            f"{path}: topology spec must be a JSON object, "
+            f"got {type(spec).__name__}")
     return from_spec(sim, spec, default_factory=default_factory,
                      default_protocol=default_protocol)

@@ -14,10 +14,15 @@ from typing import Any, List, Optional
 
 from repro.frames.ipv4 import IPv4Address, IPv4Packet
 from repro.hosts.host import Host
+from repro.metrics.availability import DEFAULT_GAP_THRESHOLD
 
 DEFAULT_FPS = 25.0
 DEFAULT_CHUNK_SIZE = 1400
 DEFAULT_PORT = 9000
+#: Gap factor (in stream intervals) above which a stall is visible —
+#: shared with the availability metrics so the sink's interruption
+#: accounting and the churn experiment's outage detection agree.
+DEFAULT_STALL_THRESHOLD = DEFAULT_GAP_THRESHOLD
 
 
 @dataclass(frozen=True)
@@ -97,7 +102,8 @@ class VideoSink:
     """
 
     def __init__(self, host: Host, fps: float = DEFAULT_FPS,
-                 port: int = DEFAULT_PORT, stall_threshold: float = 2.5):
+                 port: int = DEFAULT_PORT,
+                 stall_threshold: float = DEFAULT_STALL_THRESHOLD):
         self.host = host
         self.interval = 1.0 / fps
         self.stall_threshold = stall_threshold
@@ -166,7 +172,7 @@ def stream_between(source_host: Host, sink_host: Host,
                    fps: float = DEFAULT_FPS,
                    chunk_size: int = DEFAULT_CHUNK_SIZE,
                    port: int = DEFAULT_PORT,
-                   stall_threshold: float = 2.5):
+                   stall_threshold: float = DEFAULT_STALL_THRESHOLD):
     """Wire a source on *source_host* to a sink on *sink_host*.
 
     Returns ``(source, sink)``; the caller starts the source.

@@ -1,0 +1,127 @@
+"""Tests for the availability/downtime metrics (churn observables)."""
+
+import pytest
+
+from repro.metrics.availability import (Availability, detect_outages,
+                                        measure_availability)
+
+#: A 10 Hz probe stream.
+INTERVAL = 0.1
+
+
+def steady(start: float, end: float, interval: float = INTERVAL):
+    """Arrival times of an unbroken stream over [start, end]."""
+    times = []
+    t = start
+    while t <= end:
+        times.append(round(t, 10))
+        t += interval
+    return times
+
+
+class TestDetectOutages:
+    def test_unbroken_stream_has_none(self):
+        assert detect_outages(steady(0.0, 10.0), INTERVAL, 0.0, 10.0) == []
+
+    def test_gap_above_threshold_detected(self):
+        arrivals = [t for t in steady(0.0, 10.0) if not 3.0 < t < 5.0]
+        outages = detect_outages(arrivals, INTERVAL, 0.0, 10.0)
+        assert len(outages) == 1
+        assert outages[0].start == pytest.approx(3.0)
+        assert outages[0].end == pytest.approx(5.0)
+        assert outages[0].repaired
+
+    def test_gap_below_threshold_ignored(self):
+        # 2 missing intervals = 0.2s gap < 2.5 * 0.1s threshold.
+        arrivals = [0.0, 0.1, 0.2, 0.4, 0.5]
+        assert detect_outages(arrivals, INTERVAL, 0.0, 0.5) == []
+
+    def test_no_arrivals_is_one_unrepaired_outage(self):
+        outages = detect_outages([], INTERVAL, 0.0, 10.0)
+        assert len(outages) == 1
+        assert outages[0].duration == pytest.approx(10.0)
+        assert not outages[0].repaired
+
+    def test_head_gap_counts(self):
+        outages = detect_outages(steady(4.0, 10.0), INTERVAL, 0.0, 10.0)
+        assert len(outages) == 1
+        assert outages[0].start == pytest.approx(0.0)
+        assert outages[0].end == pytest.approx(4.0)
+
+    def test_tail_gap_is_unrepaired(self):
+        outages = detect_outages(steady(0.0, 6.0), INTERVAL, 0.0, 10.0)
+        assert len(outages) == 1
+        assert not outages[0].repaired
+
+    def test_arrivals_outside_window_ignored(self):
+        arrivals = steady(0.0, 20.0)
+        assert detect_outages(arrivals, INTERVAL, 5.0, 15.0) == []
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            detect_outages([], INTERVAL, 5.0, 4.0)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            detect_outages([], 0.0, 0.0, 1.0)
+
+
+class TestMeasureAvailability:
+    def test_perfect_stream(self):
+        stats = measure_availability(steady(0.0, 10.0), INTERVAL, 0.0, 10.0)
+        assert stats.availability == 1.0
+        assert stats.downtime == 0.0
+        assert stats.outages == 0
+
+    def test_dead_stream(self):
+        stats = measure_availability([], INTERVAL, 0.0, 10.0)
+        assert stats.availability == pytest.approx(0.0, abs=0.02)
+        assert stats.unrepaired == 1
+
+    def test_single_outage_accounting(self):
+        arrivals = [t for t in steady(0.0, 10.0) if not 3.0 < t < 5.0]
+        stats = measure_availability(arrivals, INTERVAL, 0.0, 10.0)
+        # The 2s gap minus the one interval that passes anyway.
+        assert stats.downtime == pytest.approx(2.0 - INTERVAL)
+        assert stats.availability == pytest.approx(1 - 1.9 / 10.0)
+        assert stats.outages == 1
+        assert stats.mttr == pytest.approx(2.0)
+        assert stats.worst_outage == pytest.approx(2.0)
+
+    def test_worst_and_mean_over_multiple_outages(self):
+        arrivals = [t for t in steady(0.0, 20.0)
+                    if not 3.0 < t < 4.0 and not 10.0 < t < 13.0]
+        stats = measure_availability(arrivals, INTERVAL, 0.0, 20.0)
+        assert stats.outages == 2
+        assert stats.worst_outage == pytest.approx(3.0)
+        assert stats.mttr == pytest.approx(2.0)
+
+    def test_unrepaired_outage_excluded_from_repair_series(self):
+        """A window-truncated outage has no known repair time: it must
+        show up in downtime/unrepaired, never in mttr/worst_outage."""
+        arrivals = steady(0.0, 1.0)  # stream dies at t=1, window to 10
+        stats = measure_availability(arrivals, INTERVAL, 0.0, 10.0)
+        assert stats.outages == 1 and stats.unrepaired == 1
+        assert stats.repaired == 0
+        assert stats.downtime == pytest.approx(9.0 - INTERVAL)
+        row = stats.as_row()
+        assert row["mttr"] is None and row["worst_outage"] is None
+
+    def test_mixed_outages_use_only_repaired_durations(self):
+        arrivals = [t for t in steady(0.0, 6.0) if not 2.0 < t < 3.0]
+        stats = measure_availability(arrivals, INTERVAL, 0.0, 10.0)
+        assert stats.outages == 2 and stats.unrepaired == 1
+        assert stats.mttr == pytest.approx(1.0)  # the repaired one only
+        assert stats.worst_outage == pytest.approx(1.0)
+
+    def test_as_row_is_flat_and_stable(self):
+        stats = measure_availability(steady(0.0, 10.0), INTERVAL, 0.0, 10.0)
+        row = stats.as_row()
+        assert list(row) == ["availability", "downtime", "outages",
+                             "unrepaired", "mttr", "worst_outage"]
+        assert row["mttr"] is None  # no outages -> no repair series
+
+    def test_empty_window_is_fully_available(self):
+        stats = Availability(window=0.0, downtime=0.0, outages=0,
+                             unrepaired=0, mttr=0.0, worst_outage=0.0)
+        assert stats.availability == 1.0

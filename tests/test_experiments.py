@@ -205,3 +205,97 @@ class TestAblations:
         dynamic, static, none = rows
         assert dynamic.repaired and static.repaired
         assert not none.repaired
+
+
+class TestChurn:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import churn
+        return churn.run(duration=4.0, protocols=["arppath"],
+                         flap_rate=1.0, down_time=0.3, seed=0)
+
+    def test_flaps_were_injected(self, result):
+        assert result.rows[0].flaps > 0
+
+    def test_availability_is_a_fraction(self, result):
+        avail = result.rows[0].availability
+        assert 0.0 <= avail.availability <= 1.0
+        assert avail.downtime >= 0.0
+
+    def test_records_keys_are_stable(self, result):
+        rows = result.records()
+        assert rows, "churn produced no records"
+        expected = {"protocol", "topology", "flap_rate", "down_time",
+                    "duration", "crashes", "migrations",
+                    "scripted_failures", "flaps", "availability",
+                    "downtime", "outages", "unrepaired", "mttr",
+                    "worst_outage", "chunks_sent", "chunks_received",
+                    "delivery_rate", "duplicates", "repair_count",
+                    "repair_latency_mean", "repair_latency_worst"}
+        assert set(rows[0]) == expected
+
+    def test_table_renders(self, result):
+        table = result.table()
+        assert "availability" in table and "arppath" in table
+
+    def test_zero_flap_rate_is_fully_available(self):
+        from repro.experiments import churn
+        result = churn.run(duration=3.0, protocols=["arppath"],
+                           flap_rate=0.0, seed=0)
+        row = result.rows[0]
+        assert row.flaps == 0
+        assert row.availability.availability == 1.0
+        assert row.availability.downtime == 0.0
+
+    def test_scripted_failures_reproduce_fig3_repair_latency(self):
+        """The churn scenario with flap_rate=0 and fig3-style scripted
+        cuts measures the same repair latencies as the static fig3
+        experiment — the regression anchor tying the two together."""
+        from repro.experiments import churn
+        churn_result = churn.run(duration=4.0, protocols=["arppath"],
+                                 flap_rate=0.0, scripted_failures=1,
+                                 seed=0)
+        fig3_row = fig3_repair.run_protocol(spec("arppath"), failures=1,
+                                            seed=0)
+        churn_repairs = churn_result.rows[0].repair_times
+        assert len(churn_repairs) == len(fig3_row.bridge_repair_times) == 1
+        assert churn_repairs[0] == pytest.approx(
+            fig3_row.bridge_repair_times[0], rel=0.05)
+
+    def test_crash_restart_cycle_runs(self):
+        from repro.experiments import churn
+        result = churn.run(duration=4.0, protocols=["arppath"],
+                           flap_rate=0.0, crashes=1, down_time=0.3,
+                           seed=0)
+        row = result.rows[0]
+        assert row.crashes == 1
+        assert 0.0 <= row.availability.availability <= 1.0
+
+    def test_migration_cycle_runs(self):
+        from repro.experiments import churn
+        result = churn.run(duration=4.0, protocols=["arppath"],
+                           flap_rate=0.0, migrations=1, seed=0)
+        assert result.rows[0].migrations == 1
+
+    def test_all_four_families_on_loop_free_topology(self):
+        from repro.experiments import churn
+        result = churn.run(topology="line", duration=2.0,
+                           protocols=["arppath", "stp", "spb", "learning"],
+                           flap_rate=0.0, seed=0)
+        assert len(result.rows) == 4
+        names = {row.protocol.split("(")[0] for row in result.rows}
+        assert names == {"arppath", "stp", "spb", "learning"}
+        for row in result.rows:
+            assert row.availability.availability == 1.0
+
+    def test_learning_on_loopy_topology_refused(self):
+        from repro.experiments import churn
+        with pytest.raises(ValueError, match="storms"):
+            churn.run(topology="demo", protocols=["learning"])
+
+    def test_multiple_seeds_concatenate_rows(self):
+        from repro.experiments import registry
+        scenario = registry.get("churn")
+        result = scenario.execute(seeds=[0, 1], duration=2.0,
+                                  protocols=["arppath"], flap_rate=0.5)
+        assert len(result.rows) == 2

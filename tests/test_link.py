@@ -1,5 +1,7 @@
 """Tests for links: serialization, propagation, queues, carrier."""
 
+from collections import deque
+
 import pytest
 
 from repro.frames.ethernet import ETHERTYPE_IPV4, EthernetFrame
@@ -233,6 +235,97 @@ class TestCarrier:
         assert a.ports[0].is_up
         link.take_down()
         assert not a.ports[0].is_up
+
+
+class TestFlapEdgeCases:
+    """take_down()/bring_up() under in-flight traffic and repeated
+    flaps: every loss is counted, and no stale delivery event fires
+    after a flap cycle."""
+
+    def test_in_flight_drop_counted_as_carrier_drop(self, sim, wire):
+        a, b, link = wire
+        a.ports[0].send(make_frame())
+        sim.schedule(1e-4, link.take_down)  # mid-serialization
+        sim.run()
+        assert b.received == []
+        assert link.carrier_drops == {"a.p0": 1, "b.p0": 0}
+
+    def test_queued_drops_counted_as_carrier_drops(self, sim, wire):
+        a, _b, link = wire
+        for _ in range(3):  # 1 transmitting + 2 queued
+            a.ports[0].send(make_frame())
+        link.take_down()
+        sim.run()
+        assert link.carrier_drops == {"a.p0": 3, "b.p0": 0}
+        assert link.queue_drops == {"a.p0": 0, "b.p0": 0}
+
+    def test_transmit_while_down_counted(self, sim, wire):
+        a, _b, link = wire
+        link.take_down()
+        sim.run()
+        link.transmit(a.ports[0], make_frame())
+        assert link.carrier_drops["a.p0"] == 1
+
+    def test_no_stale_delivery_after_flap_cycle(self, sim, wire):
+        """A frame in flight when carrier drops must NOT be delivered
+        after carrier returns, even if its delivery time has not yet
+        passed when the link comes back up."""
+        a, b, link = wire
+        frame = make_frame()
+        a.ports[0].send(frame)  # delivery due at ~1.9ms
+        sim.schedule(1e-4, link.take_down)
+        sim.schedule(2e-4, link.bring_up)  # up again before delivery time
+        sim.run()
+        assert b.received == []
+        direction = link._dirs[a.ports[0]]
+        assert direction.pending == [] and direction.queue == deque()
+        assert not direction.busy
+
+    def test_traffic_after_flap_cycle_delivers_once(self, sim, wire):
+        a, b, link = wire
+        a.ports[0].send(make_frame())
+        sim.schedule(1e-4, link.take_down)
+        sim.schedule(2e-4, link.bring_up)
+        sim.run()
+        a.ports[0].send(make_frame())
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_repeated_flaps_accumulate_counters(self, sim, wire):
+        a, b, link = wire
+        for _ in range(3):
+            a.ports[0].send(make_frame())
+            link.take_down()
+            sim.run()
+            link.bring_up()
+            sim.run()
+        assert link.carrier_drops["a.p0"] == 3
+        assert b.received == []
+        a.ports[0].send(make_frame())
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_flap_cycle_resets_transmitter(self, sim, wire):
+        """busy/tx_event state is cleared by take_down so the first
+        frame after bring_up starts transmitting immediately."""
+        a, b, link = wire
+        for _ in range(3):
+            a.ports[0].send(make_frame())
+        link.take_down()
+        link.bring_up()
+        stats = link.stats()
+        assert stats["a.p0"]["busy"] is False
+        assert stats["a.p0"]["queued"] == 0
+        a.ports[0].send(make_frame())
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_stats_include_carrier_drops(self, sim, wire):
+        a, _b, link = wire
+        a.ports[0].send(make_frame())
+        link.take_down()
+        sim.run()
+        assert link.stats()["a.p0"]["carrier_drops"] == 1
 
 
 class TestNode:

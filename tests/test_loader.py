@@ -98,6 +98,40 @@ class TestFromSpec:
         net = from_spec(sim, spec)
         assert "trunk" in net.links
 
+    def test_misspelled_bridge_option_names_the_keys(self, sim):
+        """A factory-level typo must fail as a TopologyError naming the
+        bad option, not as a bare TypeError from deep inside."""
+        spec = dict(DEMO_SPEC)
+        spec["bridges"] = {"B0": {}, "B1": {"protocol": "stp",
+                                            "prioritee": 0x1000}}
+        with pytest.raises(TopologyError, match="prioritee"):
+            from_spec(sim, spec)
+
+    def test_link_option_on_bridge_entry_rejected(self, sim):
+        spec = dict(DEMO_SPEC)
+        spec["bridges"] = {"B0": {}, "B1": {"protocol": "arppath",
+                                            "latency_us": 10}}
+        with pytest.raises(TopologyError, match="latency_us"):
+            from_spec(sim, spec)
+
+    def test_non_string_host_entry_rejected(self, sim):
+        spec = dict(DEMO_SPEC)
+        spec["hosts"] = [{"name": "H0"}, "H1"]
+        with pytest.raises(TopologyError, match="plain names"):
+            from_spec(sim, spec)
+
+    def test_link_missing_endpoint_rejected(self, sim):
+        spec = dict(DEMO_SPEC)
+        spec["links"] = [{"a": "B0", "latency_us": 10}]
+        with pytest.raises(TopologyError, match="'b'"):
+            from_spec(sim, spec)
+
+    def test_attach_missing_bridge_rejected(self, sim):
+        spec = dict(DEMO_SPEC)
+        spec["attach"] = [{"host": "H0"}]
+        with pytest.raises(TopologyError, match="'bridge'"):
+            from_spec(sim, spec)
+
 
 class TestFromJson:
     def test_loads_file(self, sim, tmp_path):
@@ -106,3 +140,23 @@ class TestFromJson:
         net = from_json(sim, str(path))
         net.run(5.0)
         assert ping_once(net, "H0", "H1") is not None
+
+    def test_invalid_json_raises_topology_error(self, sim, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"bridges": ["B0",}')
+        with pytest.raises(TopologyError, match="invalid JSON"):
+            from_json(sim, str(path))
+
+    def test_non_object_top_level_rejected(self, sim, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text('["B0", "B1"]')
+        with pytest.raises(TopologyError, match="JSON object"):
+            from_json(sim, str(path))
+
+    def test_unknown_key_in_file_named(self, sim, tmp_path):
+        path = tmp_path / "typo.json"
+        spec = dict(DEMO_SPEC)
+        spec["linkz"] = []
+        path.write_text(json.dumps(spec))
+        with pytest.raises(TopologyError, match="linkz"):
+            from_json(sim, str(path))

@@ -11,7 +11,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.frames.ethernet import ETHERTYPE_ARP
-from repro.metrics.paths import PathObserver, min_latency_path, path_latency
+from repro.metrics.paths import PathObserver
 from repro.netsim.engine import Simulator
 from repro.netsim.tracer import DELIVERED
 from repro.topology import arppath, random_graph
@@ -59,25 +59,63 @@ class TestLoopFreedom:
             assert received == 1, f"{name} saw {received} copies"
 
 
+def arrival_time(net, nodes, frame_bits):
+    """What a race copy pays along *nodes*: propagation latency plus
+    store-and-forward serialization at every hop."""
+    total = 0.0
+    for a, b in zip(nodes, nodes[1:]):
+        wire = net.link_between(a, b)
+        total += wire.latency
+        if wire.bandwidth is not None:
+            total += frame_bits / wire.bandwidth
+    return total
+
+
 class TestMinimumLatency:
     @SLOW
     @given(seed=st.integers(min_value=0, max_value=10_000))
     def test_chosen_path_is_optimal(self, seed):
-        """The ARP race finds the Dijkstra-optimal path on an idle
-        network (the paper's central claim)."""
+        """The ARP race finds the minimum *arrival time* path on an
+        idle network — the race's actual metric: propagation latency
+        plus per-hop store-and-forward serialization. (A fewer-hop
+        path can legitimately beat one with marginally lower summed
+        latency; hypothesis found seed 23 doing exactly that. Pure
+        propagation-latency stretch is what the stretch experiment
+        measures.)"""
+        import networkx as nx
+
+        from repro.frames import arp as arp_proto
+        from repro.frames.ethernet import ETHERTYPE_ARP, EthernetFrame
+        from repro.frames.mac import BROADCAST
+        from repro.topology import graph_of
+
         net = build(seed)
         observer = PathObserver(net, "H1")
         rtts = []
-        net.host("H0").ping(net.host("H1").ip,
-                            on_reply=lambda s, r: rtts.append(r))
+        h0, h1 = net.host("H0"), net.host("H1")
+        h0.ping(h1.ip, on_reply=lambda s, r: rtts.append(r))
         net.run(3.0)
         assert rtts, f"no connectivity on seed {seed}"
         bridges = observer.last_bridge_path()
         assert bridges is not None
-        observed = path_latency(net, ("H0",) + bridges + ("H1",))
-        oracle = min_latency_path(net, "H0", "H1")
-        assert observed == pytest.approx(oracle.latency, rel=1e-9), \
-            f"stretch {observed / oracle.latency:.3f} on seed {seed}"
+
+        request = EthernetFrame(
+            dst=BROADCAST, src=h0.mac, ethertype=ETHERTYPE_ARP,
+            payload=arp_proto.make_request(h0.mac, h0.ip, h1.ip))
+        frame_bits = request.wire_size * 8
+
+        def weight(u, v, data):
+            wire = net.links[data["link"]]
+            ser = 0.0 if wire.bandwidth is None \
+                else frame_bits / wire.bandwidth
+            return data["latency"] + ser
+
+        observed = arrival_time(net, ("H0",) + bridges + ("H1",),
+                                frame_bits)
+        oracle = nx.shortest_path_length(graph_of(net), "H0", "H1",
+                                         weight=weight)
+        assert observed == pytest.approx(oracle, rel=1e-9), \
+            f"arrival-time stretch {observed / oracle:.3f} on seed {seed}"
 
 
 class TestSymmetry:
