@@ -1,0 +1,115 @@
+"""EXP-E4: engine throughput and memory at scale (supporting).
+
+The scale scenario (``experiments/scale.py``) sweeps topology size for
+its *metrics*; this bench measures what size costs the *engine*: a
+flood-heavy ARP-Path workload — grid fabric warm-up plus a bulk
+gratuitous-ARP race from every corner host — at n = 25, 100 and 225
+bridges, recording events/second and the process's peak RSS
+(:mod:`repro.netsim.meminfo`). Peak RSS is exactly the machine-
+dependent number the scale scenario keeps *out* of its records rows;
+here, in a benchmark JSON, is where it belongs.
+
+Run with ``pytest benchmarks/bench_scale.py --benchmark-only``.
+
+``python benchmarks/bench_scale.py`` re-measures and rewrites
+``benchmarks/BENCH_scale.json``. The recorded ``reference`` block pins
+the flood events/s the *pre-slimming* engine recorded
+(``BENCH_engine.json`` before PR 4) so the hot-path slimming pass has
+a fixed anchor: ``n225_speedup_vs_pre_pr`` must stay >= 1.3.
+"""
+
+from repro.netsim.engine import Simulator
+from repro.netsim.meminfo import peak_rss_bytes
+from repro.topology import arppath, grid
+
+#: Bridge counts measured (perfect squares: n = side x side grids).
+SIZES = (25, 100, 225)
+
+#: Flood events/s recorded by BENCH_engine.json immediately before the
+#: PR-4 hot-path slimming pass, on this repo's reference container.
+PRE_PR_FLOOD_EVENTS_PER_SEC = 78937
+
+
+def scale_flood(n: int) -> Simulator:
+    """The flood workload at *n* bridges: warm grid + 4-corner ARP race.
+
+    Host announcements go through ``Network.announce_hosts`` — one
+    ``schedule_bulk`` batch — so the workload exercises the bulk
+    injection path the scale experiments rely on.
+    """
+    side = int(round(n ** 0.5))
+    sim = Simulator(seed=0, keep_trace_records=False)
+    net = grid(sim, arppath(), side, side, hosts_at_corners=True)
+    net.run(2.0)
+    net.announce_hosts()
+    net.run(1.0)
+    return sim
+
+
+def test_scale_flood_smallest(benchmark):
+    sim = benchmark(lambda: scale_flood(SIZES[0]))
+    assert sim.events_processed > 0
+
+
+def test_scale_flood_largest(benchmark):
+    sim = benchmark(lambda: scale_flood(SIZES[-1]))
+    assert sim.events_processed > 0
+
+
+def _measure(fn, rounds: int = 5) -> float:
+    """Best wall-clock seconds over *rounds* runs (after one warm-up)."""
+    import time
+    fn()
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def regenerate_baseline(path: str = None) -> dict:
+    """Measure the scale baselines and write BENCH_scale.json."""
+    import json
+    import os
+
+    if path is None:
+        path = os.path.join(os.path.dirname(__file__), "BENCH_scale.json")
+
+    workloads = {}
+    events_per_sec = {}
+    for n in SIZES:
+        sim = scale_flood(n)
+        best = _measure(lambda n=n: scale_flood(n))
+        rate = round(sim.events_processed / best)
+        events_per_sec[n] = rate
+        workloads[f"flood_grid_n{n}"] = {
+            "description": f"{n}-bridge ARP-Path grid warm-up + bulk "
+                           "4-corner gratuitous-ARP race",
+            "bridges": n,
+            "events": sim.events_processed,
+            "events_per_sec": rate,
+            # Monotonic process high-water mark, sampled after this
+            # workload (sizes run smallest-first, so growth between
+            # entries is attributable to the larger fabric).
+            "peak_rss_mib": round(peak_rss_bytes() / (1024 * 1024), 1),
+        }
+    largest = SIZES[-1]
+    baseline = {
+        "workloads": workloads,
+        "reference": {
+            "pre_pr_flood_events_per_sec": PRE_PR_FLOOD_EVENTS_PER_SEC,
+            f"n{largest}_speedup_vs_pre_pr": round(
+                events_per_sec[largest] / PRE_PR_FLOOD_EVENTS_PER_SEC, 2),
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return baseline
+
+
+if __name__ == "__main__":
+    import json
+
+    print(json.dumps(regenerate_baseline(), indent=2, sort_keys=True))

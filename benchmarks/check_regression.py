@@ -1,10 +1,11 @@
 """Bench regression guard: fresh numbers vs the checked-in baselines.
 
-Re-measures the engine (``bench_timerwheel.regenerate_baseline``) and
-sweep-runner (``bench_sweep.regenerate_baseline``) benchmarks, writes
-the fresh JSON next to ``--out-dir`` (CI uploads it as an artifact),
-and compares the throughput figures against ``BENCH_engine.json`` /
-``BENCH_sweep.json`` with a generous noise tolerance.
+Re-measures the engine (``bench_timerwheel.regenerate_baseline``),
+sweep-runner (``bench_sweep.regenerate_baseline``) and scale
+(``bench_scale.regenerate_baseline``) benchmarks, writes the fresh JSON
+next to ``--out-dir`` (CI uploads it as an artifact), and compares the
+throughput figures against ``BENCH_engine.json`` / ``BENCH_sweep.json``
+/ ``BENCH_scale.json`` with a generous noise tolerance.
 
 Per the bench-noise protocol, wall-clock numbers on shared runners are
 noisy (easily ±30-40%), so the guard only fails on a drop larger than
@@ -13,11 +14,18 @@ regressions (an accidentally quadratic hot path), not percent-level
 drift. Parallel sweep figures are only compared when the runner has
 the same CPU count the baseline was recorded on.
 
+A failing check prints the recorded baseline, the fresh measurement,
+the ratio and the configured tolerance for every failing workload. A
+baseline file missing an expected key exits with status 2 and a named
+``baseline key missing`` error (regenerate the file with the matching
+``python benchmarks/bench_*.py``) instead of a bare KeyError.
+
 Usage (CI runs exactly this)::
 
     PYTHONPATH=src python benchmarks/check_regression.py --out-dir fresh
 
-Exit status 0 = within tolerance, 1 = regression.
+Exit status 0 = within tolerance, 1 = regression, 2 = malformed
+baseline.
 """
 
 import argparse
@@ -30,13 +38,40 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 sys.path.insert(0, os.path.join(os.path.dirname(HERE), "src"))
 sys.path.insert(0, HERE)
 
-import bench_sweep  # noqa: E402  (path set up above)
+import bench_scale  # noqa: E402  (path set up above)
+import bench_sweep  # noqa: E402
 import bench_timerwheel  # noqa: E402
+
+
+class BaselineKeyMissing(KeyError):
+    """A BENCH_*.json file lacks a key this guard compares."""
+
+    def __init__(self, filename, path):
+        super().__init__(path)
+        self.filename = filename
+        self.path = path
+
+    def __str__(self):
+        return (f"baseline key missing: {self.filename} has no "
+                f"{self.path!r} — regenerate it with the matching "
+                f"benchmarks/bench_*.py script")
 
 
 def _load(name):
     with open(os.path.join(HERE, name)) as handle:
         return json.load(handle)
+
+
+def _dig(payload, filename, *path):
+    """Nested lookup that names the file and key path on a miss."""
+    value = payload
+    for key in path:
+        try:
+            value = value[key]
+        except (KeyError, TypeError):
+            raise BaselineKeyMissing(filename, ".".join(map(str, path))) \
+                from None
+    return value
 
 
 def main(argv=None):
@@ -54,44 +89,64 @@ def main(argv=None):
         os.path.join(args.out_dir, "BENCH_engine.json"))
     fresh_sweep = bench_sweep.regenerate_baseline(
         os.path.join(args.out_dir, "BENCH_sweep.json"))
+    fresh_scale = bench_scale.regenerate_baseline(
+        os.path.join(args.out_dir, "BENCH_scale.json"))
     base_engine = _load("BENCH_engine.json")
     base_sweep = _load("BENCH_sweep.json")
+    base_scale = _load("BENCH_scale.json")
 
     # (label, baseline, fresh) — all higher-is-better throughputs.
     checks = [
         ("engine flood events/s",
-         base_engine["workloads"]["flood_grid4x4"]["events_per_sec"],
+         _dig(base_engine, "BENCH_engine.json", "workloads",
+              "flood_grid4x4", "events_per_sec"),
          fresh_engine["workloads"]["flood_grid4x4"]["events_per_sec"]),
         ("wheel churn rounds/s",
-         1.0 / base_engine["workloads"]["timer_churn_wheel"]
-         ["wall_seconds"],
+         1.0 / _dig(base_engine, "BENCH_engine.json", "workloads",
+                    "timer_churn_wheel", "wall_seconds"),
          1.0 / fresh_engine["workloads"]["timer_churn_wheel"]
          ["wall_seconds"]),
         ("sweep jobs=1 cells/s",
-         base_sweep["jobs_1"]["cells_per_sec"],
+         _dig(base_sweep, "BENCH_sweep.json", "jobs_1", "cells_per_sec"),
          fresh_sweep["jobs_1"]["cells_per_sec"]),
     ]
-    if fresh_sweep["cpus"] == base_sweep["cpus"]:
-        jobs_key = next(k for k in base_sweep if k.startswith("jobs_")
-                        and k != "jobs_1")
+    for n in bench_scale.SIZES:
+        workload = f"flood_grid_n{n}"
+        checks.append((
+            f"scale n={n} events/s",
+            _dig(base_scale, "BENCH_scale.json", "workloads", workload,
+                 "events_per_sec"),
+            fresh_scale["workloads"][workload]["events_per_sec"]))
+    baseline_cpus = _dig(base_sweep, "BENCH_sweep.json", "cpus")
+    if fresh_sweep["cpus"] == baseline_cpus:
+        jobs_key = next((k for k in base_sweep if k.startswith("jobs_")
+                         and k != "jobs_1"), None)
+        if jobs_key is None:
+            raise BaselineKeyMissing("BENCH_sweep.json", "jobs_<N>")
         checks.append((f"sweep {jobs_key} cells/s",
-                       base_sweep[jobs_key]["cells_per_sec"],
+                       _dig(base_sweep, "BENCH_sweep.json", jobs_key,
+                            "cells_per_sec"),
                        fresh_sweep[jobs_key]["cells_per_sec"]))
     else:
         print(f"note: skipping parallel sweep check (baseline cpus="
-              f"{base_sweep['cpus']}, here {fresh_sweep['cpus']})")
+              f"{baseline_cpus}, here {fresh_sweep['cpus']})")
 
-    failed = False
+    failed = []
     floor = 1.0 - args.tolerance
     for label, baseline, fresh in checks:
         ratio = fresh / baseline
         verdict = "ok" if ratio >= floor else "REGRESSION"
-        failed |= ratio < floor
+        if ratio < floor:
+            failed.append((label, baseline, fresh, ratio))
         print(f"{label:28s} baseline {baseline:12.1f}  "
               f"fresh {fresh:12.1f}  ratio {ratio:5.2f}  {verdict}")
     if failed:
-        print(f"FAIL: throughput dropped more than "
-              f"{args.tolerance:.0%} below baseline")
+        print(f"FAIL: {len(failed)} workload(s) dropped more than "
+              f"{args.tolerance:.0%} below their recorded baseline "
+              f"(floor: {floor:.2f}x):")
+        for label, baseline, fresh, ratio in failed:
+            print(f"  {label}: recorded {baseline:.1f}, fresh "
+                  f"{fresh:.1f} -> ratio {ratio:.2f} < {floor:.2f}")
         return 1
     print(f"all checks within {args.tolerance:.0%} of baseline "
           f"(cpus here: {multiprocessing.cpu_count()})")
@@ -99,4 +154,8 @@ def main(argv=None):
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BaselineKeyMissing as error:
+        print(f"ERROR: {error}", file=sys.stderr)
+        sys.exit(2)

@@ -180,14 +180,17 @@ class ArpPathBridge(Bridge):
     def _send_hellos(self) -> None:
         self._hello_seq += 1
         hello = ctl_proto.make_hello(self.mac, seq=self._hello_seq)
+        # One template frame per round: port.send clones per port, so
+        # the fan-out shares the template (and its uid) exactly like a
+        # flood — 1 allocation per round instead of 1 per port.
+        frame = EthernetFrame(dst=HELLO_MULTICAST, src=self.mac,
+                              ethertype=ETHERTYPE_ARPPATH, payload=hello)
         for port in self.ports:
             if not port.is_up:
                 continue
             self.apc.hellos_sent += 1
             self.counters.control_sent += 1
-            port.send(EthernetFrame(dst=HELLO_MULTICAST, src=self.mac,
-                                    ethertype=ETHERTYPE_ARPPATH,
-                                    payload=hello))
+            port.send(frame)
 
     def link_state_changed(self, port: Port, up: bool) -> None:
         if up:

@@ -57,8 +57,15 @@ class OccupancyResult:
                 for r in self.rows]
 
 
-def _bridge_state(bridge) -> int:
-    """Comparable state size: table entries or LSDB entries + hosts."""
+def bridge_state_entries(bridge) -> int:
+    """Comparable dynamic-state size of any bridge family.
+
+    ARP-Path: locked-table entries. SPB: LSDB entries plus advertised
+    hosts (the state a link-state control plane must replicate
+    everywhere). STP and the learning switch: FDB entries. Shared by
+    this experiment and the ``scale`` scenario so the two report the
+    same quantity.
+    """
     if isinstance(bridge, ArpPathBridge):
         return len(bridge.table)
     if isinstance(bridge, SpbBridge):
@@ -66,7 +73,14 @@ def _bridge_state(bridge) -> int:
         for info in bridge.lsdb_summary().values():
             total += 1 + info["hosts"]
         return total
+    fdb = getattr(bridge, "fdb", None)
+    if fdb is not None:
+        return len(fdb)
     return 0
+
+
+#: Backwards-compatible alias (pre-scale name).
+_bridge_state = bridge_state_entries
 
 
 def run_case(protocol: ProtocolSpec, hosts_per_bridge: int,

@@ -32,7 +32,7 @@ _SCENARIOS: Dict[str, "Scenario"] = {}
 #: Canonical presentation order (CLI subcommands, listings). Scenarios
 #: not named here are appended in registration order.
 _ORDER = ("fig2", "fig3", "churn", "stretch", "loopfree", "proxy",
-          "loadbalance", "ablations", "occupancy", "ping")
+          "loadbalance", "ablations", "occupancy", "scale", "ping")
 
 #: The experiment modules that self-register scenarios, in the order
 #: their subcommands should appear.
@@ -46,6 +46,7 @@ _MODULES = (
     "repro.experiments.loadbalance",
     "repro.experiments.ablations",
     "repro.experiments.occupancy",
+    "repro.experiments.scale",
 )
 
 _loaded = False

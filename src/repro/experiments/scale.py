@@ -1,0 +1,262 @@
+"""EXP-X1: scalability — state, overhead and convergence vs network size.
+
+The paper's §2.2 argues ARP-Path bridging stays viable as the network
+grows: per-bridge state follows *active communication* (not topology
+size), discovery overhead is one race per conversation, and path setup
+needs no convergence protocol. Every other experiment in this repo runs
+at a fixed, small size, so none of them can show those claims *scaling*.
+This experiment makes topology size a first-class axis: it sweeps
+grids, fat trees and random graphs from ~16 up to 200+ bridges across
+the bridge families and measures, per (kind, size, protocol) cell:
+
+* **table occupancy per bridge** — peak and mean dynamic state
+  (:func:`repro.experiments.occupancy.bridge_state_entries`), the
+  quantity §2.2 predicts stays flat for ARP-Path while link-state grows
+  with the network;
+* **broadcast/discovery overhead** — link-level frames transmitted per
+  payload delivered to a host, covering the ARP races, control
+  protocol and flooding a cold conversation costs;
+* **convergence time** — cold-path discovery latency: the time from
+  the first probe until its reply arrives (ARP race + path lock);
+* **peak engine memory** — the simulator's logical footprint (pending
+  events + wheel timers) sampled on the timer wheel by
+  :class:`repro.netsim.meminfo.MemorySampler`. Process RSS is
+  machine-dependent and deliberately *not* in the rows (the sweep
+  determinism invariant); ``benchmarks/bench_scale.py`` records it.
+
+Traffic is injected with :meth:`Network.announce_hosts`-style bulk
+scheduling (:meth:`~repro.netsim.engine.Simulator.schedule_bulk`), so
+building a 200-bridge cell stays cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.experiments import registry
+from repro.experiments.common import ProtocolSpec
+from repro.experiments.occupancy import bridge_state_entries
+from repro.frames.ethernet import (ETHERTYPE_ARP, ETHERTYPE_ARPPATH,
+                                   ETHERTYPE_BPDU, ETHERTYPE_LSP)
+from repro.metrics.report import format_table
+from repro.netsim import tracer as trc
+from repro.netsim.engine import Simulator
+from repro.netsim.meminfo import MemorySampler
+from repro.topology.library import SCALE_TOPOLOGIES, scale_topology
+
+#: Wirings without redundant paths — the only ones a plain learning
+#: switch survives (mirrors the churn scenario's gate).
+LOOP_FREE_SCALE = ("line",)
+
+#: Spacing between successive probe rounds of one pair (seconds).
+PROBE_SPACING = 10e-3
+#: Stagger between pairs' first probes (seconds).
+PAIR_STAGGER = 1e-3
+#: Drain budget after the last scheduled probe (seconds).
+DRAIN = 1.0
+
+
+@dataclass
+class ScaleRow:
+    """One (protocol, kind, size) cell of the size sweep."""
+
+    protocol: str
+    kind: str
+    size: int
+    bridges: int
+    links: int
+    hosts: int
+    convergence_s: Optional[float]
+    frames_sent: int
+    arp_frames: int
+    control_frames: int
+    payloads_delivered: int
+    peak_state: int
+    mean_state: float
+    peak_pending_events: int
+    peak_wheel_timers: int
+    probes_sent: int
+    probes_answered: int
+
+    @property
+    def frames_per_payload(self) -> float:
+        """Link transmissions per payload delivered to a host."""
+        return self.frames_sent / max(self.payloads_delivered, 1)
+
+
+@dataclass
+class ScaleResult:
+    rows: List[ScaleRow] = field(default_factory=list)
+
+    def table(self) -> str:
+        headers = ["protocol", "kind", "bridges", "links",
+                   "convergence_ms", "frames/payload", "arp_frames",
+                   "peak_state", "mean_state", "peak_pending"]
+        body = []
+        for row in self.rows:
+            body.append([
+                row.protocol, row.kind, row.bridges, row.links,
+                row.convergence_s * 1e3
+                if row.convergence_s is not None else None,
+                f"{row.frames_per_payload:.1f}", row.arp_frames,
+                row.peak_state, f"{row.mean_state:.1f}",
+                row.peak_pending_events,
+            ])
+        return format_table(
+            headers, body,
+            title="EXP-X1 — scalability: state, overhead and convergence "
+                  "vs network size")
+
+    def records(self) -> List[Dict[str, Any]]:
+        out = []
+        for row in self.rows:
+            out.append({
+                "protocol": row.protocol,
+                "kind": row.kind,
+                "size": row.size,
+                "bridges": row.bridges,
+                "links": row.links,
+                "hosts": row.hosts,
+                "convergence_ms": row.convergence_s * 1e3
+                if row.convergence_s is not None else None,
+                "frames_per_payload": row.frames_per_payload,
+                "frames_sent": row.frames_sent,
+                "arp_frames": row.arp_frames,
+                "control_frames": row.control_frames,
+                "payloads_delivered": row.payloads_delivered,
+                "peak_state": row.peak_state,
+                "mean_state": row.mean_state,
+                "peak_pending_events": row.peak_pending_events,
+                "peak_wheel_timers": row.peak_wheel_timers,
+                "probes_sent": row.probes_sent,
+                "probes_answered": row.probes_answered,
+            })
+        return out
+
+
+def _natural(names) -> List[str]:
+    """Host names in natural (H0, H1, ..., H10) order."""
+    return sorted(names, key=lambda name: (len(name), name))
+
+
+def run_case(protocol: ProtocolSpec, kind: str, size: int, pairs: int = 3,
+             probes: int = 3, seed: int = 0) -> ScaleRow:
+    """One cell: build, warm, probe, measure."""
+    sim = Simulator(seed=seed, keep_trace_records=False)
+    net, src, dst = scale_topology(sim, protocol.factory, kind, size,
+                                   seed=seed)
+    sampler = MemorySampler(sim, interval=0.5)
+    sampler.start()
+    net.run(protocol.warmup)
+
+    # Measurement window: count every frame from here on, so the ARP
+    # discovery races are part of the overhead (that is the point).
+    sim.tracer.reset()
+    hosts = _natural(net.hosts)
+    replies_before = sum(net.host(name).counters.echo_replies_received
+                         for name in hosts)
+
+    # Cold-path convergence: first probe of the maximally separated
+    # pair, timed to its reply.
+    arrivals: List[float] = []
+    started = sim.now
+    net.host(src).ping(net.host(dst).ip,
+                       on_reply=lambda seq, rtt: arrivals.append(sim.now))
+    net.run(0.5)
+    convergence = arrivals[0] - started if arrivals else None
+
+    # Bulk probe workload over up to *pairs* maximally separated host
+    # pairs — one schedule_bulk batch, not len(specs) heap pushes.
+    count = min(pairs, len(hosts) // 2)
+    chosen = [(hosts[i], hosts[-1 - i]) for i in range(count)]
+    specs = []
+    for index, (a, b) in enumerate(chosen):
+        target = net.host(b).ip
+        ping = net.host(a).ping
+        for round_index in range(probes):
+            specs.append((index * PAIR_STAGGER
+                          + round_index * PROBE_SPACING, ping, target,
+                          round_index))
+    sim.schedule_bulk(specs)
+    net.run(count * PAIR_STAGGER + probes * PROBE_SPACING + DRAIN)
+    sampler.stop()
+
+    sent = sim.tracer.by_ethertype[trc.SENT]
+    control = (sent.get(ETHERTYPE_ARPPATH, 0) + sent.get(ETHERTYPE_BPDU, 0)
+               + sent.get(ETHERTYPE_LSP, 0))
+    payloads = sum(net.host(name).counters.ip_received for name in hosts)
+    answered = sum(net.host(name).counters.echo_replies_received
+                   for name in hosts) - replies_before
+    states = [bridge_state_entries(bridge)
+              for bridge in net.bridges.values()]
+    return ScaleRow(
+        protocol=protocol.name, kind=kind, size=size,
+        bridges=len(net.bridges), links=len(net.links),
+        hosts=len(net.hosts), convergence_s=convergence,
+        frames_sent=sim.tracer.counts[trc.SENT],
+        arp_frames=sent.get(ETHERTYPE_ARP, 0), control_frames=control,
+        payloads_delivered=payloads, peak_state=max(states),
+        mean_state=sum(states) / len(states),
+        peak_pending_events=sampler.peak_pending_events,
+        peak_wheel_timers=sampler.peak_wheel_timers,
+        probes_sent=len(specs) + 1, probes_answered=answered)
+
+
+def run(kind: str = "grid", sizes: List[int] = [16, 36, 64],
+        protocols: Optional[List[str]] = None, pairs: int = 3,
+        probes: int = 3, stp_scale: float = 0.1,
+        seed: int = 0) -> ScaleResult:
+    """The size sweep across bridge families.
+
+    A plain learning switch storms on any wiring with redundant paths,
+    so requesting it outside ``line`` is refused up front.
+    """
+    names = protocols if protocols is not None else ["arppath", "spb"]
+    if "learning" in names and kind not in LOOP_FREE_SCALE:
+        raise ValueError(
+            f"protocol 'learning' storms on loopy topologies; use one of "
+            f"{', '.join(LOOP_FREE_SCALE)} (got {kind!r})")
+    chosen = registry.protocol_specs(names, stp_scale=stp_scale)
+    result = ScaleResult()
+    for protocol in chosen:
+        for size in sizes:
+            result.rows.append(run_case(protocol, kind, size, pairs=pairs,
+                                        probes=probes, seed=seed))
+    return result
+
+
+def _scale_scenario(seeds: List[int], kind: str, sizes: List[int],
+                    protocols: List[str], pairs: int, probes: int,
+                    stp_scale: float) -> ScaleResult:
+    return registry.seeded(
+        lambda seed: run(kind=kind, sizes=sizes, protocols=protocols,
+                         pairs=pairs, probes=probes, stp_scale=stp_scale,
+                         seed=seed))(seeds)
+
+
+registry.register(registry.Scenario(
+    name="scale",
+    title="EXP-X1: scalability — state, overhead, convergence vs size",
+    params=(
+        registry.Param("kind", str, "grid", choices=SCALE_TOPOLOGIES,
+                       help="size-parameterised wiring (grid, fat_tree, "
+                            "random, line)"),
+        registry.Param("sizes", int, [16, 36, 64], nargs="+",
+                       help="target bridge counts, one cell per value"),
+        registry.Param("protocols", str, ["arppath", "spb"], nargs="+",
+                       choices=("arppath", "stp", "spb", "learning"),
+                       help="bridge families to compare ('learning' "
+                            "needs the loop-free 'line' kind)"),
+        registry.Param("pairs", int, 3,
+                       help="probe host pairs (capped at hosts//2)"),
+        registry.Param("probes", int, 3, help="probe rounds per pair"),
+        registry.Param("stp_scale", float, 0.1,
+                       help="STP timer scale (1.0 = IEEE defaults)"),
+        registry.seeds_param(),
+    ),
+    run=_scale_scenario,
+    row_keys=("size", "bridges", "links", "hosts"),
+    smoke={"sizes": [9], "protocols": ["arppath"], "pairs": 1,
+           "probes": 1},
+))

@@ -8,16 +8,26 @@ thing to wire bytes and back.
 Frames are copied (:meth:`EthernetFrame.clone`) every time they are
 transmitted so that flooded copies race through the network
 independently — the mechanism ARP-Path's path discovery exploits.
+
+Frames are the highest-volume allocation in the simulator (every hop of
+every flooded copy is one), so :class:`EthernetFrame` is a hand-written
+``__slots__`` class rather than a dataclass: no per-instance ``__dict__``,
+a :meth:`clone` that fills slots directly, and a cached classification
+code (:data:`KIND_ARP_DISCOVERY` / :data:`KIND_MULTICAST` /
+:data:`KIND_UNICAST`) shared by all clones so the dataplane classifies
+each logical frame once, not once per hop. The cache is sound because
+``dst``, ``ethertype`` and the payload's type are immutable once a frame
+is in flight (the documented frame invariant).
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
+from repro.frames.arp import ArpPacket
 from repro.frames.ipv4 import payload_size
-from repro.frames.mac import BROADCAST, MAC
+from repro.frames.mac import BROADCAST, MAC, _GROUP_BIT
 
 ETHERTYPE_IPV4 = 0x0800
 ETHERTYPE_ARP = 0x0806
@@ -37,13 +47,27 @@ ETH_FCS_LEN = 4
 ETH_MIN_FRAME = 64
 ETH_MTU_PAYLOAD = 1500
 
+#: Frame classification codes cached on the frame (see
+#: :meth:`EthernetFrame.kind`): a multicast ARP probe, any other
+#: broadcast/multicast frame, or unicast.
+KIND_ARP_DISCOVERY = 1
+KIND_MULTICAST = 2
+KIND_UNICAST = 3
+
 _uid_counter = itertools.count(1)
+
+_ETHERTYPE_NAMES = {
+    ETHERTYPE_IPV4: "IPv4",
+    ETHERTYPE_ARP: "ARP",
+    ETHERTYPE_ARPPATH: "ARP-Path",
+    ETHERTYPE_BPDU: "BPDU",
+    ETHERTYPE_LSP: "LSP",
+}
 
 #: A hop record appended to a frame's trace: (node_name, port_index, time).
 Hop = Tuple[str, int, float]
 
 
-@dataclass
 class EthernetFrame:
     """An Ethernet II frame with a typed payload.
 
@@ -57,16 +81,23 @@ class EthernetFrame:
         exact path it travelled.
     """
 
-    dst: MAC
-    src: MAC
-    ethertype: int
-    payload: Any = b""
-    uid: int = field(default_factory=lambda: next(_uid_counter))
-    trace: List[Hop] = field(default_factory=list)
-    #: Cached on-wire size; payloads are immutable once attached, so the
-    #: size is computed once and shared with clones.
-    _wire_size: Optional[int] = field(default=None, repr=False,
-                                      compare=False)
+    __slots__ = ("dst", "src", "ethertype", "payload", "uid", "trace",
+                 "_wire_size", "_kind")
+
+    def __init__(self, dst: MAC, src: MAC, ethertype: int,
+                 payload: Any = b"", uid: Optional[int] = None,
+                 trace: Optional[List[Hop]] = None,
+                 _wire_size: Optional[int] = None):
+        self.dst = dst
+        self.src = src
+        self.ethertype = ethertype
+        self.payload = payload
+        self.uid = next(_uid_counter) if uid is None else uid
+        self.trace = [] if trace is None else trace
+        #: Cached on-wire size; payloads are immutable once attached, so
+        #: the size is computed once and shared with clones.
+        self._wire_size = _wire_size
+        self._kind: Optional[int] = None
 
     @property
     def wire_size(self) -> int:
@@ -77,6 +108,29 @@ class EthernetFrame:
                        + ETH_FCS_LEN, ETH_MIN_FRAME)
             self._wire_size = size
         return size
+
+    def kind(self) -> int:
+        """This frame's interned classification code.
+
+        Computed once per logical frame (clones inherit the cache):
+        :data:`KIND_ARP_DISCOVERY` for multicast ARP probes,
+        :data:`KIND_MULTICAST` for other group-addressed frames,
+        :data:`KIND_UNICAST` otherwise. Sound because ``dst``,
+        ``ethertype`` and the payload type never change once the frame
+        is in flight.
+        """
+        code = self._kind
+        if code is None:
+            if self.dst._value & _GROUP_BIT:
+                if self.ethertype == ETHERTYPE_ARP \
+                        and isinstance(self.payload, ArpPacket):
+                    code = KIND_ARP_DISCOVERY
+                else:
+                    code = KIND_MULTICAST
+            else:
+                code = KIND_UNICAST
+            self._kind = code
+        return code
 
     @property
     def is_broadcast(self) -> bool:
@@ -96,10 +150,16 @@ class EthernetFrame:
         The payload object is shared: payloads are treated as immutable
         once attached to a frame.
         """
-        return EthernetFrame(dst=self.dst, src=self.src,
-                             ethertype=self.ethertype, payload=self.payload,
-                             uid=self.uid, trace=list(self.trace),
-                             _wire_size=self._wire_size)
+        copy = EthernetFrame.__new__(EthernetFrame)
+        copy.dst = self.dst
+        copy.src = self.src
+        copy.ethertype = self.ethertype
+        copy.payload = self.payload
+        copy.uid = self.uid
+        copy.trace = self.trace[:]
+        copy._wire_size = self._wire_size
+        copy._kind = self._kind
+        return copy
 
     def with_payload(self, payload: Any) -> "EthernetFrame":
         """A copy (same uid/trace) carrying a different payload.
@@ -119,14 +179,22 @@ class EthernetFrame:
         """The node names along this copy's recorded trace, in order."""
         return [hop[0] for hop in self.trace]
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EthernetFrame):
+            return NotImplemented
+        return (self.dst == other.dst and self.src == other.src
+                and self.ethertype == other.ethertype
+                and self.payload == other.payload
+                and self.uid == other.uid and self.trace == other.trace)
+
+    def __repr__(self) -> str:
+        return (f"EthernetFrame(dst={self.dst!r}, src={self.src!r}, "
+                f"ethertype={self.ethertype!r}, payload={self.payload!r}, "
+                f"uid={self.uid!r}, trace={self.trace!r})")
+
     def __str__(self) -> str:
-        kind = {
-            ETHERTYPE_IPV4: "IPv4",
-            ETHERTYPE_ARP: "ARP",
-            ETHERTYPE_ARPPATH: "ARP-Path",
-            ETHERTYPE_BPDU: "BPDU",
-            ETHERTYPE_LSP: "LSP",
-        }.get(self.ethertype, f"0x{self.ethertype:04x}")
+        kind = _ETHERTYPE_NAMES.get(self.ethertype,
+                                    f"0x{self.ethertype:04x}")
         return (f"[{kind}] {self.src} -> {self.dst} "
                 f"({self.wire_size}B uid={self.uid})")
 

@@ -9,7 +9,6 @@ emits a valid header checksum for serialised packets).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
 from typing import Any
 
 _MAX = (1 << 32) - 1
@@ -115,21 +114,24 @@ def ip_for_host(index: int, network: str = "10.0.0.0") -> IPv4Address:
     return IPv4Address(base + index + 1)
 
 
-@dataclass
 class IPv4Packet:
     """A simulated IPv4 packet carrying a payload object.
 
     The payload is any object exposing ``wire_size`` (e.g.
-    :class:`repro.frames.udp.UdpDatagram`) or raw ``bytes``.
+    :class:`repro.frames.udp.UdpDatagram`) or raw ``bytes``. A
+    ``__slots__`` value type: one is allocated per data frame.
     """
 
-    src: IPv4Address
-    dst: IPv4Address
-    proto: int
-    payload: Any
-    ttl: int = DEFAULT_TTL
-    ident: int = 0
-    extra: dict = field(default_factory=dict)
+    __slots__ = ("src", "dst", "proto", "payload", "ttl", "ident")
+
+    def __init__(self, src: IPv4Address, dst: IPv4Address, proto: int,
+                 payload: Any, ttl: int = DEFAULT_TTL, ident: int = 0):
+        self.src = src
+        self.dst = dst
+        self.proto = proto
+        self.payload = payload
+        self.ttl = ttl
+        self.ident = ident
 
     @property
     def wire_size(self) -> int:
@@ -144,7 +146,22 @@ class IPv4Packet:
         """
         if self.ttl <= 0:
             raise ValueError("TTL exhausted")
-        return replace(self, ttl=self.ttl - 1)
+        return IPv4Packet(src=self.src, dst=self.dst, proto=self.proto,
+                          payload=self.payload, ttl=self.ttl - 1,
+                          ident=self.ident)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IPv4Packet):
+            return NotImplemented
+        return (self.src == other.src and self.dst == other.dst
+                and self.proto == other.proto
+                and self.payload == other.payload
+                and self.ttl == other.ttl and self.ident == other.ident)
+
+    def __repr__(self) -> str:
+        return (f"IPv4Packet(src={self.src!r}, dst={self.dst!r}, "
+                f"proto={self.proto!r}, payload={self.payload!r}, "
+                f"ttl={self.ttl!r}, ident={self.ident!r})")
 
 
 def payload_size(payload: Any) -> int:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any
 
 from repro.frames.ipv4 import payload_size
@@ -10,23 +9,33 @@ from repro.frames.ipv4 import payload_size
 UDP_HEADER_LEN = 8
 
 
-@dataclass
 class UdpDatagram:
     """A UDP datagram carrying an application payload.
 
     The payload may be raw ``bytes`` or any object exposing
     ``wire_size`` (e.g. a :class:`repro.traffic.video.VideoChunk`).
+    A ``__slots__`` value type: one is allocated per stream chunk.
     """
 
-    sport: int
-    dport: int
-    payload: Any = b""
-    extra: dict = field(default_factory=dict)
+    __slots__ = ("sport", "dport", "payload")
 
-    def __post_init__(self):
-        for port in (self.sport, self.dport):
+    def __init__(self, sport: int, dport: int, payload: Any = b""):
+        for port in (sport, dport):
             if not 0 <= port <= 0xFFFF:
                 raise ValueError(f"UDP port out of range: {port}")
+        self.sport = sport
+        self.dport = dport
+        self.payload = payload
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UdpDatagram):
+            return NotImplemented
+        return (self.sport == other.sport and self.dport == other.dport
+                and self.payload == other.payload)
+
+    def __repr__(self) -> str:
+        return (f"UdpDatagram(sport={self.sport!r}, dport={self.dport!r}, "
+                f"payload={self.payload!r})")
 
     @property
     def wire_size(self) -> int:

@@ -20,6 +20,13 @@ The engine also keeps an O(1) :attr:`Simulator.pending_events` counter
 (maintained incrementally on schedule/fire/cancel) and offers
 :meth:`Simulator.schedule_bulk` for batched workload injection (one
 O(n) heapify instead of n heap pushes).
+
+Heap entries are ``(time, priority, seq, event)`` tuples rather than
+bare :class:`Event` objects: heap sifts then compare machine floats and
+ints in C instead of calling :meth:`Event.__lt__` per comparison, which
+is the difference between O(log n) cheap comparisons and O(log n)
+Python frames on every push/pop of the hot loop. ``seq`` is unique, so
+a comparison never falls through to the event object itself.
 """
 
 from __future__ import annotations
@@ -166,11 +173,12 @@ class TimerWheel:
         if start < self._next_due:
             self._next_due = start
 
-    def pour(self, horizon: float, queue: List[Event]) -> None:
+    def pour(self, horizon: float, queue: List[tuple]) -> None:
         """Move every timer that could fire by *horizon* into *queue*.
 
         Buckets whose window starts at or before *horizon* are drained;
-        cancelled timers are discarded, live ones are heap-pushed so the
+        cancelled timers are discarded, live ones are heap-pushed (as
+        the heap's ``(time, priority, seq, event)`` entries) so the
         caller sees them in exact global order. Coarse buckets cascade
         into fine buckets (or the heap) on the way.
         """
@@ -185,7 +193,8 @@ class TimerWheel:
                     fine_slot = self._slot_for(event.time, resolution)
                     if fine_slot * resolution <= horizon:
                         self._size -= 1
-                        heapq.heappush(queue, event)
+                        heapq.heappush(queue, (event.time, event.priority,
+                                               event.seq, event))
                     else:
                         self._fine.setdefault(fine_slot, []).append(event)
         if self._fine:
@@ -193,7 +202,8 @@ class TimerWheel:
                 for event in self._fine.pop(slot):
                     self._size -= 1
                     if not event.cancelled:
-                        heapq.heappush(queue, event)
+                        heapq.heappush(queue, (event.time, event.priority,
+                                               event.seq, event))
         self._recompute_next_due()
 
     def _recompute_next_due(self) -> None:
@@ -276,7 +286,8 @@ class Simulator:
     def __init__(self, seed: int = 0, trace_hops: bool = False,
                  keep_trace_records: bool = True,
                  wheel_resolution: float = 0.25, wheel_slots: int = 64):
-        self._queue: List[Event] = []
+        #: Heap of (time, priority, seq, Event) — see the module docs.
+        self._queue: List[tuple] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._pending = 0
@@ -299,9 +310,10 @@ class Simulator:
         """Schedule *callback(\\*args)* to run *delay* seconds from now."""
         if delay < 0:
             raise SchedulingError(f"cannot schedule in the past: {delay}")
-        event = Event(self._now + delay, priority, next(self._seq),
-                      callback, args, self)
-        heapq.heappush(self._queue, event)
+        time = self._now + delay
+        seq = next(self._seq)
+        event = Event(time, priority, seq, callback, args, self)
+        heapq.heappush(self._queue, (time, priority, seq, event))
         self._pending += 1
         return event
 
@@ -311,8 +323,9 @@ class Simulator:
         if time < self._now:
             raise SchedulingError(
                 f"cannot schedule at {time} (now is {self._now})")
-        event = Event(time, priority, next(self._seq), callback, args, self)
-        heapq.heappush(self._queue, event)
+        seq = next(self._seq)
+        event = Event(time, priority, seq, callback, args, self)
+        heapq.heappush(self._queue, (time, priority, seq, event))
         self._pending += 1
         return event
 
@@ -364,14 +377,19 @@ class Simulator:
         now = self._now
         take_seq = self._seq
         events: List[Event] = []
+        entries: List[tuple] = []
         for spec in specs:
             delay = spec[0]
             if delay < 0:
                 raise SchedulingError(f"cannot schedule in the past: {delay}")
-            events.append(Event(now + delay, priority, next(take_seq),
-                                spec[1], tuple(spec[2:]), self))
+            time = now + delay
+            seq = next(take_seq)
+            event = Event(time, priority, seq, spec[1], tuple(spec[2:]),
+                          self)
+            events.append(event)
+            entries.append((time, priority, seq, event))
         if events:
-            self._queue.extend(events)
+            self._queue.extend(entries)
             heapq.heapify(self._queue)
             self._pending += len(events)
         return events
@@ -384,7 +402,7 @@ class Simulator:
         wheel = self.wheel
         while True:
             if wheel._size:
-                horizon = queue[0].time if queue else wheel._next_due
+                horizon = queue[0][0] if queue else wheel._next_due
                 if wheel._next_due <= horizon:
                     wheel.pour(horizon, queue)
                     if not queue:
@@ -394,7 +412,7 @@ class Simulator:
                         continue
             if not queue:
                 return False
-            event = heapq.heappop(queue)
+            event = heapq.heappop(queue)[3]
             if event.cancelled:
                 continue
             self._now = event.time
@@ -422,7 +440,7 @@ class Simulator:
         fired = 0
         while True:
             if wheel._size:
-                horizon = queue[0].time if queue else wheel._next_due
+                horizon = queue[0][0] if queue else wheel._next_due
                 if until is not None and horizon > until:
                     # Don't drag far-future wheel timers into the heap
                     # just because this slice ends: they would lose the
@@ -436,7 +454,7 @@ class Simulator:
                         continue
             if not queue:
                 break
-            event = queue[0]
+            event = queue[0][3]
             if event.cancelled:
                 heappop(queue)
                 continue
@@ -472,7 +490,7 @@ class Simulator:
     def audit_pending_events(self) -> int:
         """O(n) debug scan of the heap and wheel; asserts it matches the
         incremental counter and returns the count."""
-        scanned = sum(1 for event in self._queue if not event.cancelled)
+        scanned = sum(1 for entry in self._queue if not entry[3].cancelled)
         scanned += sum(1 for event in self.wheel._iter_events()
                        if not event.cancelled)
         assert scanned == self._pending, (

@@ -83,6 +83,9 @@ class Link:
         self.name = name or f"{port_a.name}<->{port_b.name}"
         self._dirs = {port_a: _Direction(queue_capacity),
                       port_b: _Direction(queue_capacity)}
+        #: The simulator's tracer, cached: _trace runs twice per frame
+        #: hop and the two-attribute chain is measurable at scale.
+        self._tracer = sim.tracer
         port_a.link = self
         port_b.link = self
 
@@ -129,7 +132,13 @@ class Link:
             ser, self._tx_done, from_port, direction)
         event = self.sim.schedule(ser + self.latency, self._deliver,
                                   from_port, direction, frame)
-        direction.pending.append(event)
+        pending = direction.pending
+        pending.append(event)
+        # Fired and cancelled events are pruned lazily (take_down skips
+        # them via the cleared Event._sim), so delivery itself never
+        # rebuilds this list; only a long queue pays an occasional scan.
+        if len(pending) >= 32:
+            self._prune_pending(direction)
 
     def _tx_done(self, from_port: Port, direction: _Direction) -> None:
         direction.busy = False
@@ -139,17 +148,18 @@ class Link:
 
     def _deliver(self, from_port: Port, direction: _Direction,
                  frame: EthernetFrame) -> None:
-        self._prune_pending(direction)
         if not self.up:
             self._trace(trc.DROP_LINK_DOWN, frame)
             return
         self._trace(trc.DELIVERED, frame)
-        self.other(from_port).node.deliver(self.other(from_port), frame)
+        to_port = self.other(from_port)
+        to_port.node.deliver(to_port, frame)
 
     def _prune_pending(self, direction: _Direction) -> None:
-        now = self.sim.now
+        # A live in-flight delivery still has its Event._sim set; firing
+        # and cancelling both clear it, so the filter needs no clock.
         direction.pending = [ev for ev in direction.pending
-                             if not ev.cancelled and ev.time > now]
+                             if ev._sim is not None]
 
     # -- carrier control -----------------------------------------------------
 
@@ -164,7 +174,10 @@ class Link:
                 self._trace(trc.DROP_LINK_DOWN, frame)
             direction.queue.clear()
             for event in direction.pending:
-                if not event.cancelled and event.time >= self.sim.now:
+                # A cleared _sim means the delivery already fired or was
+                # cancelled (pending is pruned lazily); only live
+                # in-flight frames are lost to the carrier drop.
+                if event._sim is not None:
                     event.cancel()
                     # args = (from_port, direction, frame) of _deliver.
                     direction.carrier_drops += 1
@@ -221,9 +234,9 @@ class Link:
     def _trace(self, kind: str, frame: EthernetFrame) -> None:
         # MAC objects are passed through; the tracer stringifies them
         # only when it materialises a record.
-        self.sim.tracer.record(kind, self.sim.now, self.name, frame.uid,
-                               frame.ethertype, frame.wire_size,
-                               frame.src, frame.dst)
+        self._tracer.record(kind, self.sim._now, self.name, frame.uid,
+                            frame.ethertype, frame.wire_size,
+                            frame.src, frame.dst)
 
     def __repr__(self) -> str:
         state = "up" if self.up else "down"

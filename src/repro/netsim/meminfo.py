@@ -1,0 +1,155 @@
+"""Lightweight memory introspection: process RSS and engine footprint.
+
+Two kinds of "memory" matter to the scale experiments, and they must
+not be mixed up:
+
+* **Process memory** (:func:`rss_bytes`, :func:`peak_rss_bytes`) —
+  resident-set size read from ``/proc/self/status`` (``VmRSS`` /
+  ``VmHWM``), falling back to :mod:`resource` where procfs is absent.
+  These numbers are machine- and process-layout-dependent, so they are
+  recorded only by benchmarks (``benchmarks/BENCH_scale.json``), never
+  in experiment ``records()`` rows — a sweep cell's rows must be
+  byte-identical at any ``--jobs`` level, and a pool worker's RSS is
+  not.
+
+* **Engine footprint** (:class:`MemorySampler`) — the simulator's own
+  logical memory: pending events on the heap plus timers filed on the
+  wheel. It is a pure function of the simulation, so its peaks are
+  deterministic and safe to emit in records. The sampler hooks on the
+  timer wheel (:meth:`~repro.netsim.engine.Simulator.schedule_timer`),
+  so sampling itself rides the same O(1)-cancellation machinery it
+  observes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+_PROC_STATUS = "/proc/self/status"
+
+
+def _read_status_kib(field: str) -> Optional[int]:
+    """One ``kB`` field from ``/proc/self/status``, or None off-Linux."""
+    try:
+        with open(_PROC_STATUS) as handle:
+            for line in handle:
+                if line.startswith(field + ":"):
+                    return int(line.split()[1])
+    except OSError:
+        return None
+    return None
+
+
+def _rusage_peak_kib() -> int:
+    """Peak RSS via getrusage (KiB on Linux, bytes on macOS)."""
+    import resource
+    import sys
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak // 1024
+    return peak
+
+
+def rss_bytes() -> int:
+    """Current resident-set size of this process in bytes.
+
+    Where ``/proc`` is unavailable the *peak* RSS is returned instead
+    (the closest portable approximation; it only ever over-reports).
+    """
+    kib = _read_status_kib("VmRSS")
+    if kib is None:
+        kib = _rusage_peak_kib()
+    return kib * 1024
+
+
+def peak_rss_bytes() -> int:
+    """High-water-mark resident-set size of this process in bytes."""
+    kib = _read_status_kib("VmHWM")
+    if kib is None:
+        kib = _rusage_peak_kib()
+    return kib * 1024
+
+
+class MemorySampler:
+    """Periodic sampler of the engine's logical footprint.
+
+    Arms a repeating timer on the simulator's wheel and records, at
+    every tick, the number of pending heap events and wheel timers;
+    :attr:`peak_pending_events` / :attr:`peak_wheel_timers` hold the
+    high-water marks. Both are deterministic (they depend only on the
+    simulation), so scale-experiment rows may include them.
+
+    With ``track_rss=True`` the sampler additionally tracks
+    :func:`rss_bytes` peaks — benchmark-only; see the module docs.
+
+    Usage::
+
+        sampler = MemorySampler(sim, interval=0.5)
+        sampler.start()
+        net.run(...)
+        sampler.stop()
+        sampler.peak_pending_events
+    """
+
+    __slots__ = ("sim", "interval", "track_rss", "samples",
+                 "peak_pending_events", "peak_wheel_timers",
+                 "peak_rss", "_event", "_stopped")
+
+    def __init__(self, sim, interval: float = 0.5,
+                 track_rss: bool = False):
+        if interval <= 0:
+            raise ValueError(f"sample interval must be > 0: {interval}")
+        self.sim = sim
+        self.interval = interval
+        self.track_rss = track_rss
+        self.samples = 0
+        self.peak_pending_events = 0
+        self.peak_wheel_timers = 0
+        #: Peak process RSS in bytes (0 unless ``track_rss``).
+        self.peak_rss = 0
+        self._event = None
+        self._stopped = False
+
+    def start(self) -> None:
+        """Take a first sample now and begin periodic sampling."""
+        self._stopped = False
+        self._sample()
+        self._arm()
+
+    def stop(self) -> None:
+        """Stop sampling (takes one final sample for the peaks)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._sample()
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _arm(self) -> None:
+        self._event = self.sim.schedule_timer(self.interval, self._tick)
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self._sample()
+        self._arm()
+
+    def _sample(self) -> None:
+        self.samples += 1
+        pending = self.sim.pending_events
+        if pending > self.peak_pending_events:
+            self.peak_pending_events = pending
+        wheel_size = len(self.sim.wheel)
+        if wheel_size > self.peak_wheel_timers:
+            self.peak_wheel_timers = wheel_size
+        if self.track_rss:
+            rss = rss_bytes()
+            if rss > self.peak_rss:
+                self.peak_rss = rss
+
+    def __repr__(self) -> str:
+        return (f"<MemorySampler samples={self.samples} "
+                f"peak_pending={self.peak_pending_events} "
+                f"peak_wheel={self.peak_wheel_timers}>")

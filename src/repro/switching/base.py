@@ -37,7 +37,8 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Type
 
 from repro.frames.arp import ArpPacket
-from repro.frames.ethernet import ETHERTYPE_ARP, EthernetFrame
+from repro.frames.ethernet import (ETHERTYPE_ARP, EthernetFrame,
+                                   KIND_ARP_DISCOVERY, KIND_MULTICAST)
 from repro.frames.mac import MAC
 from repro.netsim.engine import Simulator
 from repro.netsim.node import Node, Port
@@ -76,21 +77,34 @@ class Dataplane:
 
     def dispatch(self, bridge: "Bridge", port: Port,
                  frame: EthernetFrame) -> None:
-        """Classify *frame* once and invoke the matching bridge hook."""
+        """Classify *frame* once and invoke the matching bridge hook.
+
+        The data classification is interned on the frame
+        (:meth:`EthernetFrame.kind`) and shared by every clone, so a
+        flooded copy traversing its n-th bridge pays one slot read, not
+        a fresh round of address/payload inspection per hop. Only the
+        family-specific control check (an ethertype set membership)
+        runs per dispatch, because it differs between dataplanes.
+        """
         if not bridge.admit_frame(port, frame):
             return
-        if self.is_control(frame):
-            bridge.on_control(port, frame)
-            return
+        if frame.ethertype in self.control_ethertypes:
+            payload_type = self.control_payload
+            if payload_type is None or isinstance(frame.payload,
+                                                  payload_type):
+                bridge.on_control(port, frame)
+                return
         if not bridge.admit_data(port, frame):
             return
-        if self.is_arp_discovery(frame):
+        kind = frame._kind
+        if kind is None:
+            kind = frame.kind()
+        if kind == KIND_ARP_DISCOVERY:
             bridge.on_arp(port, frame)
-            return
-        if frame.is_multicast:
+        elif kind == KIND_MULTICAST:
             bridge.on_broadcast(port, frame)
-            return
-        bridge.on_unicast(port, frame)
+        else:
+            bridge.on_unicast(port, frame)
 
 
 #: Pipeline for families without a control protocol (learning switch).

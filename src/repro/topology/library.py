@@ -273,6 +273,45 @@ def churn_topology(sim: Simulator, factory: BridgeFactory, name: str,
                         f"(have: {', '.join(CHURN_TOPOLOGIES)})")
 
 
+#: Size-parameterised wirings the scale scenario sweeps over. ``line``
+#: is the loop-free member — the only one a plain learning switch can
+#: run without a broadcast storm.
+SCALE_TOPOLOGIES = ("grid", "fat_tree", "random", "line")
+
+
+def scale_topology(sim: Simulator, factory: BridgeFactory, kind: str,
+                   n: int, seed: int = 0) -> Tuple[Network, str, str]:
+    """Build the named wiring sized to roughly *n* bridges.
+
+    Returns ``(net, src_host, dst_host)`` with the host pair at maximum
+    separation, mirroring :func:`churn_topology`. *n* is a target: each
+    family rounds to its nearest feasible shape (grids to rows x cols,
+    fat trees to pods + pods//2 switches), so read the actual bridge
+    count off the returned network. Deterministic in (kind, n, seed).
+    """
+    if n < 4:
+        raise TopologyError(f"scale topologies start at 4 bridges, got {n}")
+    if kind == "grid":
+        rows = max(2, int(round(n ** 0.5)))
+        cols = max(2, (n + rows - 1) // rows)
+        net = grid(sim, factory, rows, cols, hosts_at_corners=True,
+                   latency_jitter=2e-6, seed=seed)
+        return net, "H0", "H3"  # opposite corners (0,0) and (rows-1,cols-1)
+    if kind == "fat_tree":
+        # pods leaves + pods//2 spines ~= n bridges, one host per leaf.
+        pods = max(2, int(round(n * 2 / 3)))
+        net = fat_tree(sim, factory, pods=pods, hosts_per_edge=1, seed=seed)
+        return net, "H0", f"H{pods - 1}"
+    if kind == "random":
+        net = random_graph(sim, factory, n=n, seed=seed, hosts=4)
+        return net, "H0", "H1"
+    if kind == "line":
+        net = line(sim, factory, n)
+        return net, "H0", "H1"
+    raise TopologyError(f"unknown scale topology {kind!r} "
+                        f"(have: {', '.join(SCALE_TOPOLOGIES)})")
+
+
 def pair(sim: Simulator, factory: BridgeFactory,
          latency: float = FAST_LINK) -> Network:
     """The smallest interesting network: two bridges, two hosts."""

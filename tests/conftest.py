@@ -7,11 +7,29 @@ without depending on conftest path-resolution order.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.netsim.engine import Simulator
 from repro.topology import arppath, netfpga_demo, pair
 from repro.topology.builder import Network
+
+# Hypothesis profiles. CI exports HYPOTHESIS_PROFILE=ci: the per-example
+# deadline is disabled (shared runners stall unpredictably — a deadline
+# there reports flaky timeouts, not bugs). The example database
+# (.hypothesis/) is cached between CI runs, so a counterexample found
+# once replays on every later run until fixed — which is why the
+# profile must NOT set derandomize=True: that forces database=None and
+# would silently disable exactly that replay guarantee.
+settings.register_profile(
+    "ci",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

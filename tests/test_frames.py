@@ -73,6 +73,55 @@ class TestEthernetFrame:
         assert "ARP" in str(frame)
 
 
+class TestFrameKindInterning:
+    """The cached classification code (the dataplane's per-hop
+    dispatch key) and its sharing/invalidation rules."""
+
+    def test_arp_discovery_kind(self):
+        from repro.frames.ethernet import KIND_ARP_DISCOVERY
+        frame = broadcast_frame(H0, ETHERTYPE_ARP,
+                                arp_proto.make_request(H0, IP0, IP1))
+        assert frame.kind() == KIND_ARP_DISCOVERY
+
+    def test_broadcast_non_arp_kind(self):
+        from repro.frames.ethernet import KIND_MULTICAST
+        assert broadcast_frame(H0, ETHERTYPE_IPV4, b"").kind() \
+            == KIND_MULTICAST
+
+    def test_unicast_kind(self):
+        from repro.frames.ethernet import KIND_UNICAST
+        frame = EthernetFrame(dst=H1, src=H0, ethertype=ETHERTYPE_IPV4)
+        assert frame.kind() == KIND_UNICAST
+
+    def test_clone_inherits_cached_kind(self):
+        frame = broadcast_frame(H0, ETHERTYPE_ARP,
+                                arp_proto.make_request(H0, IP0, IP1))
+        code = frame.kind()
+        copy = frame.clone()
+        assert copy._kind == code  # no re-classification per hop
+
+    def test_clone_before_classification_stays_lazy(self):
+        frame = EthernetFrame(dst=H1, src=H0, ethertype=ETHERTYPE_IPV4)
+        copy = frame.clone()
+        assert copy._kind is None
+        assert copy.kind() == frame.kind()
+
+    def test_with_payload_invalidates_cache(self):
+        """A new payload can change the classification (e.g. an ARP
+        ethertype with a non-ARP payload is not a discovery)."""
+        from repro.frames.ethernet import (KIND_ARP_DISCOVERY,
+                                           KIND_MULTICAST)
+        frame = broadcast_frame(H0, ETHERTYPE_ARP,
+                                arp_proto.make_request(H0, IP0, IP1))
+        assert frame.kind() == KIND_ARP_DISCOVERY
+        swapped = frame.with_payload(b"opaque")
+        assert swapped.kind() == KIND_MULTICAST
+
+    def test_no_instance_dict(self):
+        frame = EthernetFrame(dst=H1, src=H0, ethertype=ETHERTYPE_IPV4)
+        assert not hasattr(frame, "__dict__")
+
+
 class TestArp:
     def test_request_fields(self):
         request = arp_proto.make_request(H0, IP0, IP1)
