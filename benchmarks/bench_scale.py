@@ -9,13 +9,33 @@ bridges, recording events/second and the process's peak RSS
 dependent number the scale scenario keeps *out* of its records rows;
 here, in a benchmark JSON, is where it belongs.
 
+Since PR 5 (free-running transmitters) the same workload needs far
+fewer events — an uncongested hop schedules one delivery event, not a
+``tx_done`` pair — so raw events/s is no longer comparable across the
+event-model change: halving the event count halves the numerator too.
+Two workload-invariant figures are therefore recorded alongside it:
+
+* ``deliveries_per_sec`` — link deliveries per wall second; the frame
+  economy is byte-identical across PR 4/PR 5 (parity is pinned by the
+  golden tests), so this number compares engines fairly.
+* ``events_per_payload`` — events burnt per delivered frame, the
+  efficiency metric this PR drives down (deterministic; guarded with
+  an inverted tolerance by ``check_regression.py``).
+
+The ``reference`` block pins the PR-4 event counts so cross-PR
+throughput can be read in *PR-4 event units* (``pr4_events / fresh
+wall``): the workload is identical, the new engine just needs fewer
+events to execute it. Compare ``n225_pr4_event_units_per_sec``
+against ``pr4_n225_events_per_sec`` only when the machine states
+match — this container's CPU speed swings ~2x within a session, so
+the controlled cross-PR figure is the *pinned*
+``n225_back_to_back_wall_speedup_vs_pr4`` (old and new trees measured
+interleaved in one state).
+
 Run with ``pytest benchmarks/bench_scale.py --benchmark-only``.
 
 ``python benchmarks/bench_scale.py`` re-measures and rewrites
-``benchmarks/BENCH_scale.json``. The recorded ``reference`` block pins
-the flood events/s the *pre-slimming* engine recorded
-(``BENCH_engine.json`` before PR 4) so the hot-path slimming pass has
-a fixed anchor: ``n225_speedup_vs_pre_pr`` must stay >= 1.3.
+``benchmarks/BENCH_scale.json``.
 """
 
 from repro.netsim.engine import Simulator
@@ -28,6 +48,20 @@ SIZES = (25, 100, 225)
 #: Flood events/s recorded by BENCH_engine.json immediately before the
 #: PR-4 hot-path slimming pass, on this repo's reference container.
 PRE_PR_FLOOD_EVENTS_PER_SEC = 78937
+
+#: Events the PR-4 (per-frame tx_done) event model needed for these
+#: exact workloads (from the PR-4 BENCH_scale.json): the anchor for
+#: cross-event-model throughput comparison.
+PR4_FLOOD_EVENTS = {25: 1163, 100: 5008, 225: 11603}
+#: Flood events/s PR 4 recorded at n=225 on this container.
+PR4_N225_EVENTS_PER_SEC = 206368
+#: Wall-clock speedup of the n=225 workload, PR-5 engine vs PR-4
+#: engine, measured interleaved (git stash) in one machine state at
+#: PR-5 time: old best 0.0554-0.0566 s vs new best 0.0339-0.0353 s
+#: over repeated pairs. Hand-pinned like the anchors above because a
+#: regenerate on a different machine state cannot reproduce it — this
+#: container's CPU speed swings ~2x within a session.
+PR4_BACK_TO_BACK_WALL_SPEEDUP = 1.63
 
 
 def scale_flood(n: int) -> Simulator:
@@ -77,30 +111,50 @@ def regenerate_baseline(path: str = None) -> dict:
         path = os.path.join(os.path.dirname(__file__), "BENCH_scale.json")
 
     workloads = {}
-    events_per_sec = {}
+    walls = {}
     for n in SIZES:
         sim = scale_flood(n)
         best = _measure(lambda n=n: scale_flood(n))
-        rate = round(sim.events_processed / best)
-        events_per_sec[n] = rate
+        walls[n] = best
+        delivered = sim.tracer.frames_delivered
         workloads[f"flood_grid_n{n}"] = {
             "description": f"{n}-bridge ARP-Path grid warm-up + bulk "
                            "4-corner gratuitous-ARP race",
             "bridges": n,
             "events": sim.events_processed,
-            "events_per_sec": rate,
+            "events_per_sec": round(sim.events_processed / best),
+            "wall_seconds": round(best, 6),
+            "frames_delivered": delivered,
+            # Workload-invariant across event-model changes: the frame
+            # economy is pinned byte-identical by the golden tests.
+            "deliveries_per_sec": round(delivered / best),
+            # Efficiency metric (lower is better; deterministic):
+            # engine events burnt per delivered frame.
+            "events_per_payload": round(
+                sim.events_processed / max(delivered, 1), 3),
             # Monotonic process high-water mark, sampled after this
             # workload (sizes run smallest-first, so growth between
             # entries is attributable to the larger fabric).
             "peak_rss_mib": round(peak_rss_bytes() / (1024 * 1024), 1),
         }
     largest = SIZES[-1]
+    largest_rate = workloads[f"flood_grid_n{largest}"]["events_per_sec"]
     baseline = {
         "workloads": workloads,
         "reference": {
             "pre_pr_flood_events_per_sec": PRE_PR_FLOOD_EVENTS_PER_SEC,
             f"n{largest}_speedup_vs_pre_pr": round(
-                events_per_sec[largest] / PRE_PR_FLOOD_EVENTS_PER_SEC, 2),
+                largest_rate / PRE_PR_FLOOD_EVENTS_PER_SEC, 2),
+            "pr4_flood_events": {str(n): PR4_FLOOD_EVENTS[n]
+                                 for n in SIZES},
+            "pr4_n225_events_per_sec": PR4_N225_EVENTS_PER_SEC,
+            # The identical workload in PR-4 event units (PR-4 event
+            # count / fresh wall); same machine state as every other
+            # number in this file.
+            f"n{largest}_pr4_event_units_per_sec": round(
+                PR4_FLOOD_EVENTS[largest] / walls[largest]),
+            f"n{largest}_back_to_back_wall_speedup_vs_pr4":
+                PR4_BACK_TO_BACK_WALL_SPEEDUP,
         },
     }
     with open(path, "w") as handle:

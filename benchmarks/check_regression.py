@@ -43,6 +43,11 @@ import bench_sweep  # noqa: E402
 import bench_timerwheel  # noqa: E402
 
 
+#: Allowed fractional rise for deterministic lower-is-better metrics
+#: (events/payload): only rounding headroom, not wall-clock noise.
+EFFICIENCY_TOLERANCE = 0.01
+
+
 class BaselineKeyMissing(KeyError):
     """A BENCH_*.json file lacks a key this guard compares."""
 
@@ -110,6 +115,11 @@ def main(argv=None):
          _dig(base_sweep, "BENCH_sweep.json", "jobs_1", "cells_per_sec"),
          fresh_sweep["jobs_1"]["cells_per_sec"]),
     ]
+    # (label, baseline, fresh) — lower-is-better efficiency metrics:
+    # the tolerance check is inverted (fail when fresh RISES past the
+    # allowance). events/payload is deterministic, so any growth is an
+    # event-count regression in the dataplane fast path, not noise.
+    inverted_checks = []
     for n in bench_scale.SIZES:
         workload = f"flood_grid_n{n}"
         checks.append((
@@ -117,6 +127,11 @@ def main(argv=None):
             _dig(base_scale, "BENCH_scale.json", "workloads", workload,
                  "events_per_sec"),
             fresh_scale["workloads"][workload]["events_per_sec"]))
+        inverted_checks.append((
+            f"scale n={n} events/payload",
+            _dig(base_scale, "BENCH_scale.json", "workloads", workload,
+                 "events_per_payload"),
+            fresh_scale["workloads"][workload]["events_per_payload"]))
     baseline_cpus = _dig(base_sweep, "BENCH_sweep.json", "cpus")
     if fresh_sweep["cpus"] == baseline_cpus:
         jobs_key = next((k for k in base_sweep if k.startswith("jobs_")
@@ -137,16 +152,34 @@ def main(argv=None):
         ratio = fresh / baseline
         verdict = "ok" if ratio >= floor else "REGRESSION"
         if ratio < floor:
-            failed.append((label, baseline, fresh, ratio))
+            failed.append((label, baseline, fresh, ratio,
+                           f"< floor {floor:.2f}"))
         print(f"{label:28s} baseline {baseline:12.1f}  "
               f"fresh {fresh:12.1f}  ratio {ratio:5.2f}  {verdict}")
+    # Efficiency metrics are deterministic (event counts, not wall
+    # clocks), so they get a tight fixed ceiling instead of the noise
+    # tolerance: any real growth is an event-count regression that a
+    # deliberate change must re-record, never drift to wave through.
+    ceiling = 1.0 + EFFICIENCY_TOLERANCE
+    for label, baseline, fresh in inverted_checks:
+        ratio = fresh / baseline
+        verdict = "ok" if ratio <= ceiling else "REGRESSION"
+        if ratio > ceiling:
+            failed.append((label, baseline, fresh, ratio,
+                           f"> ceiling {ceiling:.2f}"))
+        # %g, not the throughput table's %.1f: these are ~1.3-value
+        # ratios where one decimal would print equal-looking numbers
+        # beside a REGRESSION verdict.
+        print(f"{label:28s} baseline {baseline:>12g}  "
+              f"fresh {fresh:>12g}  ratio {ratio:5.3f}  {verdict} "
+              f"(lower is better)")
     if failed:
-        print(f"FAIL: {len(failed)} workload(s) dropped more than "
-              f"{args.tolerance:.0%} below their recorded baseline "
-              f"(floor: {floor:.2f}x):")
-        for label, baseline, fresh, ratio in failed:
-            print(f"  {label}: recorded {baseline:.1f}, fresh "
-                  f"{fresh:.1f} -> ratio {ratio:.2f} < {floor:.2f}")
+        print(f"FAIL: {len(failed)} workload(s) regressed past their "
+              f"recorded baseline (throughput floor {floor:.2f}x, "
+              f"efficiency ceiling {ceiling:.2f}x):")
+        for label, baseline, fresh, ratio, bound in failed:
+            print(f"  {label}: recorded {baseline:g}, fresh "
+                  f"{fresh:g} -> ratio {ratio:.3f} {bound}")
         return 1
     print(f"all checks within {args.tolerance:.0%} of baseline "
           f"(cpus here: {multiprocessing.cpu_count()})")

@@ -1,0 +1,107 @@
+"""Profile the dataplane hot path so perf PRs are data-driven.
+
+Runs the n=100 flood workload from :mod:`bench_scale` (grid warm-up +
+bulk gratuitous-ARP race) under :mod:`cProfile` and prints the top
+cumulative-time lines — the exact workload the scale bench guards, so
+a line that climbs this table is a line that will move
+``BENCH_scale.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_hotpath.py            # table
+    PYTHONPATH=src python benchmarks/profile_hotpath.py --json out.json
+
+``--json`` writes the same top-N rows as a JSON artifact (CI uploads it
+from the bench-guard job) with per-function ``ncalls`` / ``tottime`` /
+``cumtime``, plus the workload's event count and wall time, so
+consecutive CI runs can be diffed mechanically.
+"""
+
+import argparse
+import cProfile
+import io
+import json
+import os
+import pstats
+import sys
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(HERE), "src"))
+sys.path.insert(0, HERE)
+
+import bench_scale  # noqa: E402  (path set up above)
+
+#: Bridge count profiled; big enough that the dataplane dominates the
+#: topology build, small enough for a sub-second CI step.
+PROFILE_N = 100
+#: Rows printed / exported.
+TOP = 20
+
+
+def profile_flood(n: int = PROFILE_N):
+    """Profile one flood workload; returns (stats, events, wall)."""
+    bench_scale.scale_flood(n)  # warm-up: imports, allocator, caches
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    sim = bench_scale.scale_flood(n)
+    profiler.disable()
+    wall = time.perf_counter() - start
+    return pstats.Stats(profiler), sim.events_processed, wall
+
+
+def top_rows(stats: pstats.Stats, limit: int = TOP):
+    """The *limit* hottest functions by cumulative time, as dicts."""
+    entries = []
+    for func, (cc, nc, tottime, cumtime, _callers) in stats.stats.items():
+        filename, line, name = func
+        entries.append({
+            "file": filename,
+            "line": line,
+            "function": name,
+            "ncalls": nc,
+            "primitive_calls": cc,
+            "tottime_s": round(tottime, 6),
+            "cumtime_s": round(cumtime, 6),
+        })
+    entries.sort(key=lambda row: row["cumtime_s"], reverse=True)
+    return entries[:limit]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cProfile the flood hot path (top cumulative lines)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the top rows as a JSON artifact")
+    parser.add_argument("-n", type=int, default=PROFILE_N,
+                        help=f"bridge count to profile (default {PROFILE_N})")
+    parser.add_argument("--top", type=int, default=TOP,
+                        help=f"rows to print/export (default {TOP})")
+    args = parser.parse_args(argv)
+
+    stats, events, wall = profile_flood(args.n)
+    print(f"flood workload at n={args.n}: {events} events in "
+          f"{wall * 1e3:.1f} ms ({events / wall:,.0f} events/s)\n")
+    out = io.StringIO()
+    stats.stream = out
+    stats.sort_stats("cumulative").print_stats(args.top)
+    print(out.getvalue())
+
+    if args.json:
+        payload = {
+            "bridges": args.n,
+            "events": events,
+            "wall_seconds": round(wall, 6),
+            "events_per_sec": round(events / wall),
+            "top": top_rows(stats, args.top),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

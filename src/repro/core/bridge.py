@@ -29,7 +29,6 @@ used static roles).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.config import ArpPathConfig, DEFAULT_CONFIG
@@ -53,26 +52,27 @@ ARPPATH_DATAPLANE = Dataplane(control_ethertypes=(ETHERTYPE_ARPPATH,),
                               control_payload=ArpPathControl)
 
 
-@dataclass
 class ArpPathCounters:
-    """Protocol-level counters specific to the ARP-Path bridge."""
+    """Protocol-level counters specific to the ARP-Path bridge.
 
-    discovery_frames: int = 0
-    discovery_filtered: int = 0
-    broadcast_guard_filtered: int = 0
-    unicast_misses: int = 0
-    drops_no_repair: int = 0
-    drops_buffer: int = 0
-    proxy_suppressed: int = 0
-    hellos_sent: int = 0
-    hellos_received: int = 0
-    path_requests_seen: int = 0
-    path_replies_seen: int = 0
-    path_fails_seen: int = 0
-    ttl_drops: int = 0
+    Hand-written ``__slots__`` (the frames idiom, PR 4): several of
+    these are bumped per delivered frame on the discovery hot path.
+    """
+
+    _FIELDS = ("discovery_frames", "discovery_filtered",
+               "broadcast_guard_filtered", "unicast_misses",
+               "drops_no_repair", "drops_buffer", "proxy_suppressed",
+               "hellos_sent", "hellos_received", "path_requests_seen",
+               "path_replies_seen", "path_fails_seen", "ttl_drops")
+
+    __slots__ = _FIELDS
+
+    def __init__(self) -> None:
+        for field in self._FIELDS:
+            setattr(self, field, 0)
 
     def snapshot(self) -> dict:
-        return dict(self.__dict__)
+        return {field: getattr(self, field) for field in self._FIELDS}
 
 
 class ArpPathBridge(Bridge):
@@ -180,17 +180,21 @@ class ArpPathBridge(Bridge):
     def _send_hellos(self) -> None:
         self._hello_seq += 1
         hello = ctl_proto.make_hello(self.mac, seq=self._hello_seq)
-        # One template frame per round: port.send clones per port, so
-        # the fan-out shares the template (and its uid) exactly like a
-        # flood — 1 allocation per round instead of 1 per port.
+        # One frame per round: fan-out is copy-on-write, so every port
+        # shares the template object (and its uid) exactly like a
+        # flood — 1 allocation per round, 0 per port.
         frame = EthernetFrame(dst=HELLO_MULTICAST, src=self.mac,
                               ethertype=ETHERTYPE_ARPPATH, payload=hello)
         for port in self.ports:
-            if not port.is_up:
+            # port.is_up inlined: two hello rounds per bridge per
+            # warm-up make the property call measurable at scale.
+            link = port.link
+            if link is None or not link.up:
                 continue
             self.apc.hellos_sent += 1
             self.counters.control_sent += 1
-            port.send(frame)
+            frame._shared = True
+            link.transmit(port, frame)
 
     def link_state_changed(self, port: Port, up: bool) -> None:
         if up:
@@ -212,8 +216,13 @@ class ArpPathBridge(Bridge):
     # -- dataplane admission ----------------------------------------------
 
     def admit_frame(self, port: Port, frame: EthernetFrame) -> bool:
-        """Copies of our own control floods returning over loops die here."""
-        return frame.src != self.mac
+        """Copies of our own control floods returning over loops die here.
+
+        Integer compare on the raw address value: this gate runs once
+        per delivered frame, and a ``MAC.__eq__`` call is measurable
+        there.
+        """
+        return frame.src._value != self.mac._value
 
     # -- discovery (paper §2.1.1) ----------------------------------------
 

@@ -78,11 +78,24 @@ class ScaleRow:
     peak_wheel_timers: int
     probes_sent: int
     probes_answered: int
+    events_processed: int
 
     @property
     def frames_per_payload(self) -> float:
         """Link transmissions per payload delivered to a host."""
         return self.frames_sent / max(self.payloads_delivered, 1)
+
+    @property
+    def events_per_payload(self) -> float:
+        """Engine events burnt per payload delivered to a host.
+
+        The event-economy counterpart of :attr:`frames_per_payload`:
+        deterministic (event scheduling is part of the simulation), so
+        CI's ``--jobs`` byte-parity gate also pins the event count, and
+        event-count regressions in the dataplane fast path show up as
+        row diffs, not just wall-clock noise.
+        """
+        return self.events_processed / max(self.payloads_delivered, 1)
 
 
 @dataclass
@@ -131,6 +144,8 @@ class ScaleResult:
                 "peak_wheel_timers": row.peak_wheel_timers,
                 "probes_sent": row.probes_sent,
                 "probes_answered": row.probes_answered,
+                "events_processed": row.events_processed,
+                "events_per_payload": row.events_per_payload,
             })
         return out
 
@@ -200,7 +215,8 @@ def run_case(protocol: ProtocolSpec, kind: str, size: int, pairs: int = 3,
         mean_state=sum(states) / len(states),
         peak_pending_events=sampler.peak_pending_events,
         peak_wheel_timers=sampler.peak_wheel_timers,
-        probes_sent=len(specs) + 1, probes_answered=answered)
+        probes_sent=len(specs) + 1, probes_answered=answered,
+        events_processed=sim.events_processed)
 
 
 def run(kind: str = "grid", sizes: List[int] = [16, 36, 64],

@@ -5,19 +5,25 @@ typed payload object (ARP packet, IPv4 packet, BPDU, ARP-Path control
 message or raw bytes); :mod:`repro.frames.codec` can serialise the whole
 thing to wire bytes and back.
 
-Frames are copied (:meth:`EthernetFrame.clone`) every time they are
-transmitted so that flooded copies race through the network
-independently — the mechanism ARP-Path's path discovery exploits.
+Flooded copies race through the network independently — the mechanism
+ARP-Path's path discovery exploits — but since PR 5 they are
+*copy-on-write*: :meth:`~repro.netsim.node.Port.send` hands the same
+frame object to every link (marking it :attr:`EthernetFrame._shared`)
+and a private :meth:`EthernetFrame.clone` is taken lazily, only at the
+first per-copy mutation (hop recording under ``trace_hops``). Sharing
+is sound because ``dst``, ``ethertype`` and the payload's type are
+immutable once a frame is in flight (the documented frame invariant)
+and the ``_wire_size``/``_kind`` caches are idempotent; the per-copy
+``trace`` list is the single mutable field, and it is only touched
+behind the lazy clone.
 
-Frames are the highest-volume allocation in the simulator (every hop of
-every flooded copy is one), so :class:`EthernetFrame` is a hand-written
-``__slots__`` class rather than a dataclass: no per-instance ``__dict__``,
-a :meth:`clone` that fills slots directly, and a cached classification
-code (:data:`KIND_ARP_DISCOVERY` / :data:`KIND_MULTICAST` /
-:data:`KIND_UNICAST`) shared by all clones so the dataplane classifies
-each logical frame once, not once per hop. The cache is sound because
-``dst``, ``ethertype`` and the payload's type are immutable once a frame
-is in flight (the documented frame invariant).
+Frames used to be the highest-volume allocation in the simulator (every
+flooded copy per port was one), so :class:`EthernetFrame` is a
+hand-written ``__slots__`` class rather than a dataclass: no
+per-instance ``__dict__``, a :meth:`clone` that fills slots directly,
+and a cached classification code (:data:`KIND_ARP_DISCOVERY` /
+:data:`KIND_MULTICAST` / :data:`KIND_UNICAST`) shared by all clones so
+the dataplane classifies each logical frame once, not once per hop.
 """
 
 from __future__ import annotations
@@ -79,10 +85,15 @@ class EthernetFrame:
         Hop records appended at each node when tracing is enabled; each
         clone carries its own list, so a delivered copy's trace is the
         exact path it travelled.
+    ``_shared``
+        Copy-on-write marker: set by ``Port.send`` when the object goes
+        on the wire (possibly out of several ports at once). A receiver
+        that needs to mutate the frame (hop tracing) must clone first;
+        the clone is private until it is sent again.
     """
 
     __slots__ = ("dst", "src", "ethertype", "payload", "uid", "trace",
-                 "_wire_size", "_kind")
+                 "_wire_size", "_kind", "_shared")
 
     def __init__(self, dst: MAC, src: MAC, ethertype: int,
                  payload: Any = b"", uid: Optional[int] = None,
@@ -98,6 +109,7 @@ class EthernetFrame:
         #: the size is computed once and shared with clones.
         self._wire_size = _wire_size
         self._kind: Optional[int] = None
+        self._shared = False
 
     @property
     def wire_size(self) -> int:
@@ -148,7 +160,8 @@ class EthernetFrame:
         """A copy with the same uid and an independent trace list.
 
         The payload object is shared: payloads are treated as immutable
-        once attached to a frame.
+        once attached to a frame. The copy is private (not ``_shared``)
+        until it is sent again.
         """
         copy = EthernetFrame.__new__(EthernetFrame)
         copy.dst = self.dst
@@ -159,6 +172,7 @@ class EthernetFrame:
         copy.trace = self.trace[:]
         copy._wire_size = self._wire_size
         copy._kind = self._kind
+        copy._shared = False
         return copy
 
     def with_payload(self, payload: Any) -> "EthernetFrame":

@@ -312,7 +312,17 @@ class Simulator:
             raise SchedulingError(f"cannot schedule in the past: {delay}")
         time = self._now + delay
         seq = next(self._seq)
-        event = Event(time, priority, seq, callback, args, self)
+        # Event filled via __new__ + slot writes: this is the hottest
+        # allocation site in the simulator (once per frame hop), and
+        # skipping the __init__ call is worth the inelegance.
+        event = Event.__new__(Event)
+        event.time = time
+        event.priority = priority
+        event.seq = seq
+        event.callback = callback
+        event.args = args
+        event.cancelled = False
+        event._sim = self
         heapq.heappush(self._queue, (time, priority, seq, event))
         self._pending += 1
         return event

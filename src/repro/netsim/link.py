@@ -12,16 +12,42 @@ A link joins exactly two ports and models, per direction:
 
 Heterogeneous per-link latency is what makes the ARP race meaningful:
 the first ARP copy to arrive travelled the lowest-latency path.
+
+The transmitter is *free-running* (PR 5): instead of a per-frame
+``tx_done`` callback it keeps an arithmetic ``busy_until`` timestamp,
+so an uncongested transmit schedules exactly **one** event — the
+delivery, with the serialisation delay folded into it. A drain event
+is armed lazily, only when a queue actually forms, and fires at the
+instant the old model's ``tx_done`` would have: delivery times and
+trace records are identical, at half the event count on the
+uncongested path. Drop points are identical too, with one measure-zero
+exception: a transmit firing at *exactly* ``busy_until`` against a
+*full* queue now always tail-drops, where the retired model admitted
+or dropped depending on whether its ``tx_done`` happened to carry an
+earlier heap sequence number than the competing event — seq-lottery
+behaviour, not link semantics, and unreachable with continuous
+latencies (the golden traces and congestion tests pin every realistic
+drop path equal).
+
+One deliberate semantic cleanup rides along: an infinite-bandwidth
+link (``bandwidth=None``) never queues and never tail-drops — its
+transmitter is idle again the instant it starts, which is what
+"serialisation skipped" means. (The retired model briefly held
+``busy`` across a zero-duration window, so a large enough same-instant
+burst could tail-drop; that was an event-model artifact, not link
+semantics. Delivery times were and are identical either way.)
 """
 
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Deque, Dict, List, Optional
 
 from repro.frames.ethernet import EthernetFrame
 from repro.netsim import tracer as trc
-from repro.netsim.engine import PRIORITY_EARLY, Event, Simulator
+from repro.netsim.engine import (PRIORITY_EARLY, PRIORITY_NORMAL, Event,
+                                 Simulator)
 from repro.netsim.errors import TopologyError
 from repro.netsim.node import Port
 
@@ -35,22 +61,33 @@ DEFAULT_QUEUE_CAPACITY = 64
 class _Direction:
     """Transmitter state for one direction of the link."""
 
-    __slots__ = ("queue", "busy", "pending", "tx_event", "queue_drops",
-                 "carrier_drops")
+    __slots__ = ("queue", "busy_until", "pending", "drain_event",
+                 "queue_drops", "carrier_drops", "to_port")
 
-    def __init__(self, capacity: int):
-        # Capacity is enforced in Link.transmit (not via maxlen) so that
-        # overflow tail-drops are observable and counted.
+    def __init__(self, to_port: Port):
+        # The queue is unbounded here; Link.transmit enforces the
+        # capacity (not deque maxlen) so overflow tail-drops are
+        # observable and counted.
         self.queue: Deque[EthernetFrame] = deque(maxlen=None)
-        self.busy = False
+        #: The transmitter is busy strictly before this instant; at or
+        #: after it the next frame starts serialising immediately. A
+        #: plain float comparison replaces the old per-frame tx_done
+        #: event on the uncongested path.
+        self.busy_until = 0.0
         #: Delivery events in flight (cancelled if the link goes down).
         self.pending: List[Event] = []
-        self.tx_event: Optional[Event] = None
+        #: Armed only while frames wait in the queue; fires at
+        #: ``busy_until`` to start the next serialisation (the only
+        #: moment the old tx_done event is still needed).
+        self.drain_event: Optional[Event] = None
         #: Frames tail-dropped because the queue was full.
         self.queue_drops = 0
         #: Frames lost to carrier loss: queued or in flight when the
         #: link went down, or handed to a downed transmitter.
         self.carrier_drops = 0
+        #: The receiving endpoint of this direction, cached so delivery
+        #: skips the two identity compares of :meth:`Link.other`.
+        self.to_port = to_port
 
 
 class Link:
@@ -78,60 +115,100 @@ class Link:
         self.port_b = port_b
         self.latency = latency
         self.bandwidth = bandwidth
+        #: Seconds of serialisation per wire byte (0.0 = infinite
+        #: bandwidth): a precomputed multiplier so the per-frame fast
+        #: path never divides.
+        self._ser_per_byte = 0.0 if bandwidth is None else 8.0 / bandwidth
         self.queue_capacity = queue_capacity
         self.up = True
         self.name = name or f"{port_a.name}<->{port_b.name}"
-        self._dirs = {port_a: _Direction(queue_capacity),
-                      port_b: _Direction(queue_capacity)}
+        self._dirs = {port_a: _Direction(port_b),
+                      port_b: _Direction(port_a)}
         #: The simulator's tracer, cached: _trace runs twice per frame
         #: hop and the two-attribute chain is measurable at scale.
         self._tracer = sim.tracer
+        #: One bound method shared by every delivery this link ever
+        #: schedules (a fresh `self._deliver` per transmit is an
+        #: allocation the fast path can skip).
+        self._deliver_cb = self._deliver
         port_a.link = self
         port_b.link = self
+        port_a.node.invalidate_port_cache()
+        port_b.node.invalidate_port_cache()
 
     # -- wiring --------------------------------------------------------------
 
     def other(self, port: Port) -> Port:
         """The opposite endpoint of *port*."""
-        if port is self.port_a:
-            return self.port_b
-        if port is self.port_b:
-            return self.port_a
-        raise TopologyError(f"{port.name} is not an endpoint of {self.name}")
+        direction = self._dirs.get(port)
+        if direction is None:
+            raise TopologyError(f"{port.name} is not an endpoint of {self.name}")
+        return direction.to_port
 
     # -- data plane ----------------------------------------------------------
 
     def serialization_delay(self, frame: EthernetFrame) -> float:
         """Seconds the transmitter is busy sending *frame*."""
-        if self.bandwidth is None:
-            return 0.0
-        return frame.wire_size * 8 / self.bandwidth
+        return frame.wire_size * self._ser_per_byte
 
     def transmit(self, from_port: Port, frame: EthernetFrame) -> None:
-        """Queue *frame* for transmission from *from_port*."""
+        """Queue *frame* for transmission from *from_port*.
+
+        The uncongested path is fully inlined — one SENT counter bump,
+        one arithmetic ``busy_until`` update, one scheduled delivery —
+        because this method runs once per flooded copy per hop and
+        every elided call layer is measurable at the 225-bridge scale.
+        """
         if not self.up:
             self._dirs[from_port].carrier_drops += 1
             self._trace(trc.DROP_LINK_DOWN, frame)
             return
         direction = self._dirs[from_port]
-        if direction.busy:
+        now = self.sim._now
+        # A non-empty queue keeps the FIFO order even at the exact
+        # busy_until instant (the drain event for it is already armed
+        # and fires this instant): new frames go behind, never ahead.
+        if direction.busy_until > now or direction.queue:
             if len(direction.queue) >= self.queue_capacity:
                 direction.queue_drops += 1
                 self._trace(trc.DROP_QUEUE, frame)
                 return
             direction.queue.append(frame)
+            if direction.drain_event is None:
+                direction.drain_event = self.sim.schedule(
+                    direction.busy_until - now, self._drain, direction)
             return
-        self._start_tx(from_port, direction, frame)
-
-    def _start_tx(self, from_port: Port, direction: _Direction,
-                  frame: EthernetFrame) -> None:
-        direction.busy = True
-        self._trace(trc.SENT, frame)
-        ser = self.serialization_delay(frame)
-        direction.tx_event = self.sim.schedule(
-            ser, self._tx_done, from_port, direction)
-        event = self.sim.schedule(ser + self.latency, self._deliver,
-                                  from_port, direction, frame)
+        # -- inlined _start_tx (keep in sync with it) --
+        size = frame._wire_size
+        if size is None:
+            size = frame.wire_size
+        tracer = self._tracer
+        if tracer.count_only:
+            tracer.counts[trc.SENT] += 1
+            tracer.by_ethertype[trc.SENT][frame.ethertype] += 1
+        else:
+            tracer.record(trc.SENT, now, self.name, frame.uid,
+                          frame.ethertype, size, frame.src, frame.dst)
+        ser = size * self._ser_per_byte
+        direction.busy_until = now + ser
+        # Inlined Simulator.schedule (keep in sync with it): one Event
+        # filled by slot writes, one heap entry in the engine's
+        # documented (time, priority, seq, event) tuple shape. The
+        # delivery is the only event an uncongested hop schedules, so
+        # the call overhead of schedule() would be pure per-hop tax.
+        sim = self.sim
+        time = now + ser + self.latency
+        seq = next(sim._seq)
+        event = Event.__new__(Event)
+        event.time = time
+        event.priority = PRIORITY_NORMAL
+        event.seq = seq
+        event.callback = self._deliver_cb
+        event.args = (direction, frame)
+        event.cancelled = False
+        event._sim = sim
+        heappush(sim._queue, (time, PRIORITY_NORMAL, seq, event))
+        sim._pending += 1
         pending = direction.pending
         pending.append(event)
         # Fired and cancelled events are pruned lazily (take_down skips
@@ -140,20 +217,64 @@ class Link:
         if len(pending) >= 32:
             self._prune_pending(direction)
 
-    def _tx_done(self, from_port: Port, direction: _Direction) -> None:
-        direction.busy = False
-        direction.tx_event = None
-        if direction.queue and self.up:
-            self._start_tx(from_port, direction, direction.queue.popleft())
+    def _start_tx(self, direction: _Direction, frame: EthernetFrame,
+                  now: float) -> None:
+        """Start serialising *frame* now (the drain/congested path).
 
-    def _deliver(self, from_port: Port, direction: _Direction,
-                 frame: EthernetFrame) -> None:
+        Semantically the inlined tail of :meth:`transmit`; keep the two
+        in sync.
+        """
+        self._trace(trc.SENT, frame)
+        # _trace just filled the wire-size cache; read the slot directly
+        # rather than paying the property descriptor again.
+        ser = frame._wire_size * self._ser_per_byte
+        direction.busy_until = now + ser
+        event = self.sim.schedule(ser + self.latency, self._deliver,
+                                  direction, frame)
+        pending = direction.pending
+        pending.append(event)
+        if len(pending) >= 32:
+            self._prune_pending(direction)
+
+    def _drain(self, direction: _Direction) -> None:
+        """The transmitter went idle with frames queued: start the next.
+
+        Fires at exactly the instant the retired per-frame ``tx_done``
+        event used to, so queued frames serialise back-to-back with
+        identical timing; re-arms itself while the queue is non-empty.
+        """
+        direction.drain_event = None
+        if not self.up or not direction.queue:
+            return
+        self._start_tx(direction, direction.queue.popleft(), self.sim._now)
+        if direction.queue:
+            direction.drain_event = self.sim.schedule(
+                direction.busy_until - self.sim._now, self._drain, direction)
+
+    def _deliver(self, direction: _Direction, frame: EthernetFrame) -> None:
         if not self.up:
             self._trace(trc.DROP_LINK_DOWN, frame)
             return
-        self._trace(trc.DELIVERED, frame)
-        to_port = self.other(from_port)
-        to_port.node.deliver(to_port, frame)
+        # Inlined DELIVERED trace (see _trace): this is the single
+        # hottest callback in the simulator.
+        tracer = self._tracer
+        if tracer.count_only:
+            tracer.counts[trc.DELIVERED] += 1
+            tracer.by_ethertype[trc.DELIVERED][frame.ethertype] += 1
+        else:
+            tracer.record(trc.DELIVERED, self.sim._now, self.name,
+                          frame.uid, frame.ethertype, frame.wire_size,
+                          frame.src, frame.dst)
+        to_port = direction.to_port
+        node = to_port.node
+        if node._trace_hops:
+            # Node.deliver owns the copy-on-write hop recording; it is
+            # also the documented instance-level wrap point (the
+            # PathObserver), which requires trace_hops — so the
+            # non-tracing fast path below never bypasses a wrapper.
+            node.deliver(to_port, frame)
+        else:
+            node.handle_frame(to_port, frame)
 
     def _prune_pending(self, direction: _Direction) -> None:
         # A live in-flight delivery still has its Event._sim set; firing
@@ -179,14 +300,14 @@ class Link:
                 # in-flight frames are lost to the carrier drop.
                 if event._sim is not None:
                     event.cancel()
-                    # args = (from_port, direction, frame) of _deliver.
+                    # args = (direction, frame) of _deliver.
                     direction.carrier_drops += 1
-                    self._trace(trc.DROP_LINK_DOWN, event.args[2])
+                    self._trace(trc.DROP_LINK_DOWN, event.args[1])
             direction.pending.clear()
-            if direction.tx_event is not None:
-                direction.tx_event.cancel()
-                direction.tx_event = None
-            direction.busy = False
+            if direction.drain_event is not None:
+                direction.drain_event.cancel()
+                direction.drain_event = None
+            direction.busy_until = 0.0
         self._notify_carrier(False)
 
     def bring_up(self) -> None:
@@ -216,6 +337,10 @@ class Link:
         return {port.name: direction.carrier_drops
                 for port, direction in self._dirs.items()}
 
+    def is_busy(self, from_port: Port) -> bool:
+        """Is the transmitter out of *from_port* mid-serialisation now?"""
+        return self._dirs[from_port].busy_until > self.sim._now
+
     def stats(self) -> Dict[str, Dict[str, object]]:
         """Per-direction transmitter state, keyed by the sending port name.
 
@@ -223,8 +348,9 @@ class Link:
         transmitter is busy, and the cumulative tail-drop and
         carrier-loss drop counts.
         """
+        now = self.sim._now
         return {port.name: {"queued": len(direction.queue),
-                            "busy": direction.busy,
+                            "busy": direction.busy_until > now,
                             "queue_drops": direction.queue_drops,
                             "carrier_drops": direction.carrier_drops}
                 for port, direction in self._dirs.items()}
@@ -232,11 +358,21 @@ class Link:
     # -- tracing ---------------------------------------------------------
 
     def _trace(self, kind: str, frame: EthernetFrame) -> None:
-        # MAC objects are passed through; the tracer stringifies them
-        # only when it materialises a record.
-        self._tracer.record(kind, self.sim._now, self.name, frame.uid,
-                            frame.ethertype, frame.wire_size,
-                            frame.src, frame.dst)
+        # _trace runs twice per frame hop. In counters-only mode (no
+        # record retention, no listeners — every benchmark and the scale
+        # scenario) the counters are bumped inline; the record() call —
+        # with MAC objects passed through so stringification stays
+        # lazy — is reserved for tracers that materialise records.
+        size = frame._wire_size
+        if size is None:
+            size = frame.wire_size
+        tracer = self._tracer
+        if tracer.count_only:
+            tracer.counts[kind] += 1
+            tracer.by_ethertype[kind][frame.ethertype] += 1
+        else:
+            tracer.record(kind, self.sim._now, self.name, frame.uid,
+                          frame.ethertype, size, frame.src, frame.dst)
 
     def __repr__(self) -> str:
         state = "up" if self.up else "down"

@@ -4,6 +4,14 @@ A :class:`Node` is anything with Ethernet ports: a bridge or an end
 host. Ports attach to :class:`repro.netsim.link.Link` objects; a node
 receives frames through :meth:`Node.deliver` and reacts to carrier
 changes through :meth:`Node.link_state_changed`.
+
+Frame fan-out is copy-on-write (PR 5): :meth:`Port.send` does **not**
+clone — it marks the frame shared and hands the same object to the
+link, so flooding a frame out of *n* ports costs zero allocations. The
+one per-copy mutation in the simulator, hop recording under
+``trace_hops``, takes a lazy private clone in :meth:`Node.deliver`
+before it appends, which keeps per-copy traces byte-identical to the
+old eager-clone fan-out.
 """
 
 from __future__ import annotations
@@ -56,13 +64,17 @@ class Port:
     def send(self, frame: EthernetFrame) -> None:
         """Transmit a frame out of this port.
 
-        The frame is cloned so the caller may reuse or re-send the same
-        object out of several ports (flooding) — each copy then races
-        through the network independently.
+        The frame object itself goes on the wire, marked shared
+        (copy-on-write): the caller may still re-send the same object
+        out of several ports (flooding) and each copy races through the
+        network independently, because in-flight frames are immutable —
+        the only mutation, hop tracing, clones lazily at delivery.
         """
-        if self.link is None or not self.link.up:
+        link = self.link
+        if link is None or not link.up:
             return
-        self.link.transmit(self, frame.clone())
+        frame._shared = True
+        link.transmit(self, frame)
 
     def __repr__(self) -> str:
         return f"<Port {self.name}>"
@@ -76,11 +88,16 @@ class Node:
         self.name = name
         self.ports: List[Port] = []
         self.started = False
+        self._attached_cache: Optional[List[Port]] = None
+        #: trace_hops is fixed at Simulator construction; cached here so
+        #: the per-delivery check is one attribute load, not two.
+        self._trace_hops = sim.trace_hops
 
     def add_port(self) -> Port:
         """Create and return a new (unattached) port."""
         port = Port(self, len(self.ports))
         self.ports.append(port)
+        self._attached_cache = None
         return port
 
     def add_ports(self, count: int) -> List[Port]:
@@ -96,7 +113,22 @@ class Node:
 
     @property
     def attached_ports(self) -> List[Port]:
-        return [port for port in self.ports if port.is_attached]
+        """The node's attached ports, cached.
+
+        Attachment changes only when a link is constructed or a host is
+        unplugged, so the list is rebuilt lazily after
+        :meth:`invalidate_port_cache` instead of on every flood. The
+        cached list is returned as-is — treat it as read-only.
+        """
+        cached = self._attached_cache
+        if cached is None:
+            cached = [port for port in self.ports if port.link is not None]
+            self._attached_cache = cached
+        return cached
+
+    def invalidate_port_cache(self) -> None:
+        """Drop the attached-port cache (called on attach/detach)."""
+        self._attached_cache = None
 
     def start(self) -> None:
         """Hook called once after the topology is wired.
@@ -106,8 +138,20 @@ class Node:
         self.started = True
 
     def deliver(self, port: Port, frame: EthernetFrame) -> None:
-        """Entry point for frames arriving at *port* (called by links)."""
-        if self.sim.trace_hops:
+        """Entry point for frames arriving at *port*.
+
+        Links call this only when hop tracing is on (it owns the
+        copy-on-write clone); with tracing off they dispatch straight
+        to :meth:`handle_frame`, which is behaviourally identical and
+        one call cheaper. Anything wrapping ``deliver`` per instance
+        (the PathObserver) requires ``trace_hops=True``, so the fast
+        path never bypasses a wrapper.
+        """
+        if self._trace_hops:
+            if frame._shared:
+                # Copy-on-write: the object may be in flight on other
+                # links; take a private copy before mutating its trace.
+                frame = frame.clone()
             frame.record_hop(self.name, port.index, self.sim.now)
         self.handle_frame(port, frame)
 
@@ -121,11 +165,12 @@ class Node:
     def flood(self, frame: EthernetFrame, exclude: Optional[Port] = None) -> int:
         """Send *frame* out of every attached port except *exclude*.
 
-        Returns the number of ports the frame was sent on.
+        Returns the number of ports the frame was sent on. All copies
+        share the one frame object (copy-on-write fan-out).
         """
         count = 0
-        for port in self.ports:
-            if port is exclude or not port.is_attached:
+        for port in self.attached_ports:
+            if port is exclude:
                 continue
             port.send(frame)
             count += 1

@@ -43,11 +43,27 @@ class Tracer:
     """
 
     def __init__(self, keep_records: bool = True):
-        self.keep_records = keep_records
         self.records: List[TraceRecord] = []
         self.counts: Counter = Counter()
         self.by_ethertype: Dict[str, Counter] = defaultdict(Counter)
         self._listeners: List[Callable[[TraceRecord], None]] = []
+        #: True while no record is ever materialised (no retention, no
+        #: listeners): callers on the per-hop fast path may then bump
+        #: :attr:`counts` / :attr:`by_ethertype` directly instead of
+        #: paying a :meth:`record` call per link event. Kept in sync by
+        #: the keep_records setter and add_listener.
+        self.count_only = not keep_records
+        self._keep_records = keep_records
+
+    @property
+    def keep_records(self) -> bool:
+        """Whether records are retained; assignable mid-run."""
+        return self._keep_records
+
+    @keep_records.setter
+    def keep_records(self, value: bool) -> None:
+        self._keep_records = value
+        self.count_only = not value and not self._listeners
 
     def record(self, kind: str, time: float, link: str, frame_uid: int,
                ethertype: int, size: int, src, dst) -> None:
@@ -72,6 +88,7 @@ class Tracer:
     def add_listener(self, listener: Callable[[TraceRecord], None]) -> None:
         """Invoke *listener* for every future record."""
         self._listeners.append(listener)
+        self.count_only = False
 
     # -- queries -------------------------------------------------------------
 

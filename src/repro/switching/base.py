@@ -33,7 +33,6 @@ handlers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Optional, Type
 
 from repro.frames.arp import ArpPacket
@@ -111,28 +110,27 @@ class Dataplane:
 DATA_ONLY_DATAPLANE = Dataplane()
 
 
-@dataclass
 class BridgeCounters:
-    """Data-plane counters every bridge keeps."""
+    """Data-plane counters every bridge keeps.
 
-    received: int = 0
-    forwarded: int = 0
-    flooded_frames: int = 0
-    flooded_copies: int = 0
-    filtered: int = 0
-    control_received: int = 0
-    control_sent: int = 0
+    A hand-written ``__slots__`` value type (the frames idiom, PR 4):
+    ``received`` is bumped once per frame per hop and a slot write is
+    cheaper than a ``__dict__`` entry. Slots, zero-init and snapshot
+    all derive from the one ``_FIELDS`` tuple.
+    """
+
+    _FIELDS = ("received", "forwarded", "flooded_frames",
+               "flooded_copies", "filtered", "control_received",
+               "control_sent")
+
+    __slots__ = _FIELDS
+
+    def __init__(self) -> None:
+        for field in self._FIELDS:
+            setattr(self, field, 0)
 
     def snapshot(self) -> dict:
-        return {
-            "received": self.received,
-            "forwarded": self.forwarded,
-            "flooded_frames": self.flooded_frames,
-            "flooded_copies": self.flooded_copies,
-            "filtered": self.filtered,
-            "control_received": self.control_received,
-            "control_sent": self.control_sent,
-        }
+        return {field: getattr(self, field) for field in self._FIELDS}
 
 
 class Bridge(Node):
@@ -152,6 +150,11 @@ class Bridge(Node):
         super().__init__(sim, name)
         self.mac = mac
         self.counters = BridgeCounters()
+        # The family's classification constants, cached per instance:
+        # handle_frame inlines the dispatch ladder (see below) and an
+        # instance slot read beats a class-attribute walk per frame.
+        self._control_ethertypes = self.dataplane.control_ethertypes
+        self._control_payload = self.dataplane.control_payload
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -171,8 +174,31 @@ class Bridge(Node):
     # -- pipeline entry ----------------------------------------------------
 
     def handle_frame(self, port: Port, frame: EthernetFrame) -> None:
+        # The body is :meth:`Dataplane.dispatch` inlined (keep the two
+        # in sync): this method runs once per frame per hop, and the
+        # extra dispatch call plus its attribute walks are measurable
+        # at the 225-bridge scale. Classification policy still lives in
+        # Dataplane — this is its one hot-path copy.
         self.counters.received += 1
-        self.dataplane.dispatch(self, port, frame)
+        if not self.admit_frame(port, frame):
+            return
+        if frame.ethertype in self._control_ethertypes:
+            payload_type = self._control_payload
+            if payload_type is None or isinstance(frame.payload,
+                                                  payload_type):
+                self.on_control(port, frame)
+                return
+        if not self.admit_data(port, frame):
+            return
+        kind = frame._kind
+        if kind is None:
+            kind = frame.kind()
+        if kind == KIND_ARP_DISCOVERY:
+            self.on_arp(port, frame)
+        elif kind == KIND_MULTICAST:
+            self.on_broadcast(port, frame)
+        else:
+            self.on_unicast(port, frame)
 
     # -- admission hooks ---------------------------------------------------
 
@@ -215,8 +241,23 @@ class Bridge(Node):
 
     def flood_data(self, frame: EthernetFrame,
                    exclude: Optional[Port] = None) -> int:
-        """Flood a data frame on all ports but *exclude*, counting it."""
-        copies = self.flood(frame, exclude=exclude)
+        """Flood a data frame on all ports but *exclude*, counting it.
+
+        The fan-out loop is :meth:`Node.flood` with :meth:`Port.send`
+        inlined (keep them in sync): flooding is ARP-Path's hot path —
+        the race *is* the mechanism — and the per-port call pair costs
+        more than the remaining per-copy work. Copy-on-write: every
+        port shares the one frame object.
+        """
+        frame._shared = True
+        copies = 0
+        for port in self.attached_ports:
+            if port is exclude:
+                continue
+            copies += 1
+            link = port.link
+            if link.up:
+                link.transmit(port, frame)
         self.counters.flooded_frames += 1
         self.counters.flooded_copies += copies
         return copies

@@ -116,14 +116,36 @@ class TestTiming:
         sim.run()
         assert len(a.received) == 1 and len(b.received) == 1
 
-    def test_frames_are_cloned_on_send(self, sim, wire):
+    def test_send_is_copy_on_write(self, sim, wire):
+        """Fan-out shares the frame object: without hop tracing no copy
+        is ever taken — the delivered frame IS the sent frame, marked
+        shared."""
         a, b, _link = wire
         frame = make_frame()
         a.ports[0].send(frame)
         sim.run()
         delivered = b.received[0][2]
-        assert delivered is not frame
+        assert delivered is frame
+        assert delivered._shared
         assert delivered.uid == frame.uid
+
+    def test_hop_tracing_clones_lazily(self):
+        """Under trace_hops each delivery takes a private copy before
+        recording its hop, so per-copy traces stay independent."""
+        sim = Simulator(seed=0, trace_hops=True)
+        hub = Sink(sim, "hub")
+        spokes = [Sink(sim, f"s{i}") for i in range(2)]
+        for spoke in spokes:
+            Link(sim, hub.add_port(), spoke.add_port(), latency=1e-6)
+        frame = make_frame()
+        hub.flood(frame)
+        sim.run()
+        got = [spoke.received[0][2] for spoke in spokes]
+        assert got[0] is not frame and got[1] is not frame
+        assert got[0] is not got[1]
+        assert got[0].path_nodes() == ["s0"]
+        assert got[1].path_nodes() == ["s1"]
+        assert frame.trace == []  # the shared original is never mutated
 
 
 class TestQueueing:
@@ -279,7 +301,8 @@ class TestFlapEdgeCases:
         assert b.received == []
         direction = link._dirs[a.ports[0]]
         assert direction.pending == [] and direction.queue == deque()
-        assert not direction.busy
+        assert not link.is_busy(a.ports[0])
+        assert direction.drain_event is None
 
     def test_traffic_after_flap_cycle_delivers_once(self, sim, wire):
         a, b, link = wire
@@ -306,8 +329,8 @@ class TestFlapEdgeCases:
         assert len(b.received) == 1
 
     def test_flap_cycle_resets_transmitter(self, sim, wire):
-        """busy/tx_event state is cleared by take_down so the first
-        frame after bring_up starts transmitting immediately."""
+        """busy_until/drain_event state is cleared by take_down so the
+        first frame after bring_up starts transmitting immediately."""
         a, b, link = wire
         for _ in range(3):
             a.ports[0].send(make_frame())
@@ -326,6 +349,133 @@ class TestFlapEdgeCases:
         link.take_down()
         sim.run()
         assert link.stats()["a.p0"]["carrier_drops"] == 1
+
+
+class TestCongestedTransmitter:
+    """Semantics of the free-running (busy_until) transmitter under
+    load, pinned against the retired per-frame tx_done model: identical
+    serialisation spacing, identical tail-drop depth, identical losses
+    on a mid-burst carrier cut — at half the event count when
+    uncongested."""
+
+    def test_uncongested_send_costs_one_event(self, sim, wire):
+        """No tx_done event on the uncongested path: one send = one
+        delivery event, nothing else."""
+        a, _b, _link = wire
+        a.ports[0].send(make_frame())
+        sim.run()
+        assert sim.events_processed == 1
+
+    def test_congested_burst_adds_only_drain_events(self, sim, wire):
+        """A 3-frame burst: 3 deliveries + 2 drains (one per queued
+        frame), not 3 tx_done + 3 deliveries."""
+        a, b, _link = wire
+        for _ in range(3):
+            a.ports[0].send(make_frame())
+        sim.run()
+        assert len(b.received) == 3
+        assert sim.events_processed == 5
+
+    def test_back_to_back_serialize_at_exact_wire_spacing(self, sim, wire):
+        """Queued frames start exactly when the previous serialisation
+        ends: deliveries at ser+lat, 2*ser+lat, 3*ser+lat."""
+        a, b, link = wire
+        frame = make_frame(100)
+        ser = frame.wire_size * 8 / 1e6
+        for _ in range(3):
+            a.ports[0].send(make_frame(100))
+        sim.run()
+        times = [t for t, _p, _f in b.received]
+        assert times == pytest.approx(
+            [ser + 1e-3, 2 * ser + 1e-3, 3 * ser + 1e-3])
+
+    def test_tail_drop_depth_unchanged(self, sim, wire):
+        """Capacity 2: 1 serialising + 2 queued survive a 6-frame
+        burst; exactly 3 tail-drop (the pre-PR depth)."""
+        a, b, link = wire
+        for _ in range(6):
+            a.ports[0].send(make_frame())
+        assert link.queue_drops["a.p0"] == 3
+        sim.run()
+        assert len(b.received) == 3
+        assert link.queue_drops == {"a.p0": 3, "b.p0": 0}
+
+    def test_take_down_mid_burst_drops_same_frames(self, sim, wire):
+        """4-frame burst, cut at t=2ms: frame 1 delivered (1.944ms),
+        frames 2 and 3 lost to carrier (one serialising, one already
+        drained into serialisation), frame 4 tail-dropped at send time
+        — the exact pre-PR accounting."""
+        a, b, link = wire
+        for _ in range(4):
+            a.ports[0].send(make_frame(100))
+        sim.schedule(2e-3, link.take_down)
+        sim.run()
+        assert len(b.received) == 1
+        assert link.queue_drops["a.p0"] == 1
+        assert link.carrier_drops["a.p0"] == 2
+
+    def test_take_down_mid_burst_with_queue_still_populated(self, sim, wire):
+        """Cut during the first serialisation: the in-flight frame and
+        both queued frames are carrier-dropped, queue and drain reset."""
+        a, b, link = wire
+        for _ in range(3):
+            a.ports[0].send(make_frame(100))
+        sim.schedule(5e-4, link.take_down)  # first tx ends at 944us
+        sim.run()
+        assert b.received == []
+        assert link.carrier_drops["a.p0"] == 3
+        direction = link._dirs[a.ports[0]]
+        assert direction.drain_event is None
+        assert len(direction.queue) == 0
+        assert not link.is_busy(a.ports[0])
+
+    def test_infinite_bandwidth_never_queues_or_drops(self, sim):
+        """bandwidth=None: serialisation is skipped, so the free-running
+        transmitter is idle again the instant it starts — a same-instant
+        burst beyond the queue capacity all delivers, with no tail-drop
+        (the documented PR-5 semantic cleanup)."""
+        a, b = Sink(sim, "a"), Sink(sim, "b")
+        link = Link(sim, a.add_port(), b.add_port(), latency=2e-3,
+                    bandwidth=None, queue_capacity=2)
+        for _ in range(6):
+            a.ports[0].send(make_frame())
+        sim.run()
+        assert len(b.received) == 6
+        assert all(t == pytest.approx(2e-3) for t, _p, _f in b.received)
+        assert link.queue_drops == {"a.p0": 0, "b.p0": 0}
+
+    def test_enabling_record_retention_mid_run_takes_effect(self, sim, wire):
+        """tracer.keep_records flipped mid-run re-enables record
+        materialisation on the link fast path (count_only tracks it)."""
+        a, b, _link = wire
+        sim.tracer.keep_records = False
+        assert sim.tracer.count_only
+        a.ports[0].send(make_frame())
+        sim.run()
+        assert sim.tracer.records == []
+        sim.tracer.keep_records = True
+        assert not sim.tracer.count_only
+        a.ports[0].send(make_frame())
+        sim.run()
+        kinds = [rec.kind for rec in sim.tracer.records]
+        assert trc.SENT in kinds and trc.DELIVERED in kinds
+        assert sim.tracer.frames_delivered == 2  # counters never paused
+
+    def test_transmitter_idles_after_queue_drains(self, sim, wire):
+        """Once the burst drains the transmitter free-runs again: a
+        later send is uncongested (single event, immediate start)."""
+        a, b, link = wire
+        for _ in range(3):
+            a.ports[0].send(make_frame(100))
+        sim.run()
+        fired = sim.events_processed
+        frame = make_frame(100)
+        ser = frame.wire_size * 8 / 1e6
+        start = sim.now
+        a.ports[0].send(frame)
+        sim.run()
+        assert sim.events_processed == fired + 1
+        assert b.received[-1][0] == pytest.approx(start + ser + 1e-3)
 
 
 class TestNode:

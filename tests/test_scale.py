@@ -93,9 +93,14 @@ class TestScaleGolden:
         assert row["mean_state"] == pytest.approx(10 / 9)
         assert row["convergence_ms"] == pytest.approx(0.1999, rel=1e-3)
         # Engine-footprint peaks are deterministic (the records
-        # contract); process RSS never appears in rows.
-        assert row["peak_pending_events"] == 75
+        # contract); process RSS never appears in rows. PR 5's
+        # free-running transmitters dropped peak_pending_events from 75
+        # and events_processed from 569 while every frame-level and
+        # timing metric above stayed byte-identical.
+        assert row["peak_pending_events"] == 47
         assert row["peak_wheel_timers"] == 14
+        assert row["events_processed"] == 323
+        assert row["events_per_payload"] == pytest.approx(80.75)
         assert "peak_rss" not in "".join(row)
 
     def test_rows_are_reproducible(self):
