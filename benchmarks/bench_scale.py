@@ -105,6 +105,7 @@ def _measure(fn, rounds: int = 5) -> float:
 def regenerate_baseline(path: str = None) -> dict:
     """Measure the scale baselines and write BENCH_scale.json."""
     import json
+    import multiprocessing
     import os
 
     if path is None:
@@ -141,6 +142,10 @@ def regenerate_baseline(path: str = None) -> dict:
     largest_rate = workloads[f"flood_grid_n{largest}"]["events_per_sec"]
     baseline = {
         "workloads": workloads,
+        # Machine context for the wall-clock figures; the sharded bench
+        # (bench_shard.py) compares its multi-worker numbers only
+        # against baselines recorded at the same CPU count.
+        "cpus": multiprocessing.cpu_count(),
         "reference": {
             "pre_pr_flood_events_per_sec": PRE_PR_FLOOD_EVENTS_PER_SEC,
             f"n{largest}_speedup_vs_pre_pr": round(
@@ -166,4 +171,9 @@ def regenerate_baseline(path: str = None) -> dict:
 if __name__ == "__main__":
     import json
 
-    print(json.dumps(regenerate_baseline(), indent=2, sort_keys=True))
+    fresh = regenerate_baseline()
+    print(json.dumps(fresh, indent=2, sort_keys=True))
+    largest = fresh["workloads"][f"flood_grid_n{SIZES[-1]}"]
+    print(f"n={SIZES[-1]}: {largest['events_per_sec']:,} events/s, "
+          f"{largest['deliveries_per_sec']:,} deliveries/s "
+          f"(cpus: {fresh['cpus']})")

@@ -1,0 +1,172 @@
+"""EXP-E5: sharded-engine throughput (supporting, not from the paper).
+
+Measures the PR-6 sharded runtime (:mod:`repro.netsim.shard`) on the
+same workload ``bench_scale`` guards — the n=225 flood: grid warm-up
+plus a bulk 4-corner gratuitous-ARP race — at shards = 1, 2 and 4,
+recording wall seconds and ``deliveries_per_sec`` per shard count.
+Deliveries, not events: the conservative protocol trades heap events
+for channel messages, so raw events/s is not comparable across shard
+counts, while the frame economy is byte-identical (pinned by the
+parity tests) and deliveries/s therefore compares fairly.
+
+Two figures matter beyond raw throughput:
+
+* ``shards_1`` runs the workload *through* ``ShardedSimulator`` — the
+  K == 1 degenerate path (no fabric, no rounds) — so its ratio against
+  the direct ``Simulator`` run (``shard_1_overhead_vs_direct``) is the
+  facade's fixed cost. The acceptance bar is < 5%.
+* The recorded ``cpus`` field matters: K workers can only beat one
+  engine when the machine has more than one core. On a single-core
+  container the multi-shard numbers measure pure protocol overhead
+  (speedup <= 1 is the honest ceiling there), and are recorded with
+  that caveat — exactly the ``BENCH_sweep.json`` convention for its
+  parallel-pool figures.
+
+Run with ``pytest benchmarks/bench_shard.py --benchmark-only``.
+
+``python benchmarks/bench_shard.py`` re-measures and rewrites
+``benchmarks/BENCH_shard.json``.
+"""
+
+import multiprocessing
+import time
+
+from repro.netsim.engine import Simulator
+from repro.netsim.shard import (ShardRuntime, ShardedSimulator,
+                                derive_shard_seed)
+from repro.topology import arppath, grid
+from repro.topology.partition import partition_network
+
+import bench_scale
+
+#: Bridge count measured — the largest bench_scale size, where the
+#: dataplane dominates and banding actually distributes work.
+N = 225
+#: Shard counts measured.
+SHARD_COUNTS = (1, 2, 4)
+
+
+def sharded_flood_worker(shard_id: int, shard_count: int, endpoint,
+                         n: int, seed: int) -> dict:
+    """One shard's slice of the ``bench_scale.scale_flood`` workload.
+
+    Module-level (picklable) so process mode can fork it. Mirrors the
+    single-process phases exactly: 2 s warm-up, bulk host announcement,
+    1 s flood race.
+    """
+    side = int(round(n ** 0.5))
+    sim = Simulator(seed=derive_shard_seed(seed, shard_id),
+                    keep_trace_records=False)
+    runtime = ShardRuntime(sim, shard_id, endpoint)
+    net = grid(sim, arppath(), side, side, hosts_at_corners=True)
+    runtime.adopt(net, partition_network(net, shard_count))
+    net.start()
+    runtime.run_for(2.0)
+    net.announce_hosts()
+    runtime.run_for(1.0)
+    return {"events": sim.events_processed,
+            "delivered": sim.tracer.frames_delivered}
+
+
+def sharded_flood(n: int = N, shards: int = 1, mode: str = "auto") -> dict:
+    """The flood workload across *shards* engines; merged totals."""
+    results = ShardedSimulator(shards, mode=mode).run(
+        sharded_flood_worker, n, 0)
+    return {"events": sum(result["events"] for result in results),
+            "delivered": sum(result["delivered"] for result in results)}
+
+
+def test_sharded_flood_one_shard(benchmark):
+    merged = benchmark(lambda: sharded_flood(N, 1))
+    assert merged["delivered"] > 0
+
+
+def test_sharded_flood_four_shards(benchmark):
+    merged = benchmark(lambda: sharded_flood(N, 4))
+    assert merged["delivered"] > 0
+
+
+def test_sharded_delivery_parity():
+    """The frame economy is shard-count-invariant (deliveries match)."""
+    single = sharded_flood(N, 1)
+    assert sharded_flood(N, 2)["delivered"] == single["delivered"]
+    assert sharded_flood(N, 4)["delivered"] == single["delivered"]
+
+
+def _measure(fn, rounds: int = 3) -> float:
+    """Best wall-clock seconds over *rounds* runs (after one warm-up)."""
+    fn()
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def regenerate_baseline(path: str = None) -> dict:
+    """Measure the sharded flood and write BENCH_shard.json."""
+    import json
+    import os
+
+    if path is None:
+        path = os.path.join(os.path.dirname(__file__), "BENCH_shard.json")
+
+    cpus = multiprocessing.cpu_count()
+    direct_wall = _measure(lambda: bench_scale.scale_flood(N))
+    entries = {}
+    delivered = {}
+    for shards in SHARD_COUNTS:
+        merged = sharded_flood(N, shards)
+        best = _measure(lambda shards=shards: sharded_flood(N, shards))
+        delivered[shards] = merged["delivered"]
+        entries[f"shards_{shards}"] = {
+            "wall_seconds": round(best, 6),
+            "frames_delivered": merged["delivered"],
+            "deliveries_per_sec": round(merged["delivered"] / best),
+            "cpus": cpus,
+        }
+    # The contract the wall numbers lean on: identical frame economy at
+    # every shard count (the parity tests pin the full records; this
+    # re-checks the invariant in the measured configuration).
+    for shards in SHARD_COUNTS[1:]:
+        assert delivered[shards] == delivered[SHARD_COUNTS[0]], \
+            f"delivery parity broken at shards={shards}"
+
+    single_wall = entries["shards_1"]["wall_seconds"]
+    baseline = {
+        "workload": {
+            "description": f"{N}-bridge ARP-Path grid warm-up + bulk "
+                           "4-corner gratuitous-ARP race, sharded "
+                           "(bench_scale.scale_flood under the "
+                           "conservative PDES runtime)",
+            "bridges": N,
+            "frames_delivered": delivered[SHARD_COUNTS[0]],
+        },
+        "cpus": cpus,
+        "direct_wall_seconds": round(direct_wall, 6),
+        # The ShardedSimulator facade at K=1 vs the bare engine: the
+        # degenerate path's fixed cost (acceptance bar: < 5%).
+        "shard_1_overhead_vs_direct": round(
+            single_wall / direct_wall - 1.0, 4),
+        **entries,
+    }
+    for shards in SHARD_COUNTS[1:]:
+        baseline[f"speedup_{shards}_vs_1"] = round(
+            single_wall / entries[f"shards_{shards}"]["wall_seconds"], 3)
+    if cpus == 1:
+        baseline["note"] = (
+            "recorded on a single-core container: multi-shard walls "
+            "measure protocol overhead, not parallel speedup — the "
+            "deliveries figures are parity numbers, and speedup > 1 "
+            "is only reachable with cpus > 1")
+    with open(path, "w") as handle:
+        json.dump(baseline, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return baseline
+
+
+if __name__ == "__main__":
+    import json
+
+    print(json.dumps(regenerate_baseline(), indent=2, sort_keys=True))

@@ -1,11 +1,13 @@
 """Bench regression guard: fresh numbers vs the checked-in baselines.
 
 Re-measures the engine (``bench_timerwheel.regenerate_baseline``),
-sweep-runner (``bench_sweep.regenerate_baseline``) and scale
-(``bench_scale.regenerate_baseline``) benchmarks, writes the fresh JSON
+sweep-runner (``bench_sweep.regenerate_baseline``), scale
+(``bench_scale.regenerate_baseline``) and sharded-engine
+(``bench_shard.regenerate_baseline``) benchmarks, writes the fresh JSON
 next to ``--out-dir`` (CI uploads it as an artifact), and compares the
 throughput figures against ``BENCH_engine.json`` / ``BENCH_sweep.json``
-/ ``BENCH_scale.json`` with a generous noise tolerance.
+/ ``BENCH_scale.json`` / ``BENCH_shard.json`` with a generous noise
+tolerance.
 
 Per the bench-noise protocol, wall-clock numbers on shared runners are
 noisy (easily ±30-40%), so the guard only fails on a drop larger than
@@ -15,10 +17,12 @@ drift. Parallel sweep figures are only compared when the runner has
 the same CPU count the baseline was recorded on.
 
 A failing check prints the recorded baseline, the fresh measurement,
-the ratio and the configured tolerance for every failing workload. A
-baseline file missing an expected key exits with status 2 and a named
-``baseline key missing`` error (regenerate the file with the matching
-``python benchmarks/bench_*.py``) instead of a bare KeyError.
+the ratio and the configured tolerance for every failing workload.
+Malformed checkouts exit with status 2 and a *named* error instead of
+a bare traceback, symmetrically at both granularities: a baseline file
+missing an expected key raises ``BaselineKeyMissing``, and a missing
+``BENCH_*.json`` file itself raises ``BaselineFileMissing`` (both say
+which ``python benchmarks/bench_*.py`` regenerates it).
 
 Usage (CI runs exactly this)::
 
@@ -39,6 +43,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(HERE), "src"))
 sys.path.insert(0, HERE)
 
 import bench_scale  # noqa: E402  (path set up above)
+import bench_shard  # noqa: E402
 import bench_sweep  # noqa: E402
 import bench_timerwheel  # noqa: E402
 
@@ -46,6 +51,26 @@ import bench_timerwheel  # noqa: E402
 #: Allowed fractional rise for deterministic lower-is-better metrics
 #: (events/payload): only rounding headroom, not wall-clock noise.
 EFFICIENCY_TOLERANCE = 0.01
+
+
+class BaselineFileMissing(FileNotFoundError):
+    """A BENCH_*.json baseline file this guard needs does not exist.
+
+    Named (and exit-status-2) for the same reason as
+    :class:`BaselineKeyMissing`: a missing baseline is a malformed
+    checkout, not a performance regression, and the fix — run the
+    matching ``benchmarks/bench_*.py`` — belongs in the error text,
+    not in a bare ``FileNotFoundError`` traceback.
+    """
+
+    def __init__(self, filename):
+        super().__init__(filename)
+        self.filename = filename
+
+    def __str__(self):
+        return (f"baseline file missing: {self.filename} is not checked "
+                f"in next to this guard — regenerate it with the "
+                f"matching benchmarks/bench_*.py script")
 
 
 class BaselineKeyMissing(KeyError):
@@ -63,8 +88,11 @@ class BaselineKeyMissing(KeyError):
 
 
 def _load(name):
-    with open(os.path.join(HERE, name)) as handle:
-        return json.load(handle)
+    try:
+        with open(os.path.join(HERE, name)) as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        raise BaselineFileMissing(name) from None
 
 
 def _dig(payload, filename, *path):
@@ -96,9 +124,12 @@ def main(argv=None):
         os.path.join(args.out_dir, "BENCH_sweep.json"))
     fresh_scale = bench_scale.regenerate_baseline(
         os.path.join(args.out_dir, "BENCH_scale.json"))
+    fresh_shard = bench_shard.regenerate_baseline(
+        os.path.join(args.out_dir, "BENCH_shard.json"))
     base_engine = _load("BENCH_engine.json")
     base_sweep = _load("BENCH_sweep.json")
     base_scale = _load("BENCH_scale.json")
+    base_shard = _load("BENCH_shard.json")
 
     # (label, baseline, fresh) — all higher-is-better throughputs.
     checks = [
@@ -132,6 +163,27 @@ def main(argv=None):
             _dig(base_scale, "BENCH_scale.json", "workloads", workload,
                  "events_per_payload"),
             fresh_scale["workloads"][workload]["events_per_payload"]))
+    # Sharded engine: the K=1 degenerate path is wall-noisy like every
+    # other throughput here (40% floor); the multi-shard figures are
+    # machine-shaped (protocol overhead on one core, speedup on many),
+    # so they only compare against a baseline from the same CPU count —
+    # the BENCH_sweep.json convention for its parallel-pool numbers.
+    checks.append((
+        "shard K=1 deliveries/s",
+        _dig(base_shard, "BENCH_shard.json", "shards_1",
+             "deliveries_per_sec"),
+        fresh_shard["shards_1"]["deliveries_per_sec"]))
+    shard_baseline_cpus = _dig(base_shard, "BENCH_shard.json", "cpus")
+    if fresh_shard["cpus"] == shard_baseline_cpus:
+        for shards in bench_shard.SHARD_COUNTS[1:]:
+            checks.append((
+                f"shard K={shards} deliveries/s",
+                _dig(base_shard, "BENCH_shard.json", f"shards_{shards}",
+                     "deliveries_per_sec"),
+                fresh_shard[f"shards_{shards}"]["deliveries_per_sec"]))
+    else:
+        print(f"note: skipping multi-shard checks (baseline cpus="
+              f"{shard_baseline_cpus}, here {fresh_shard['cpus']})")
     baseline_cpus = _dig(base_sweep, "BENCH_sweep.json", "cpus")
     if fresh_sweep["cpus"] == baseline_cpus:
         jobs_key = next((k for k in base_sweep if k.startswith("jobs_")
@@ -189,6 +241,6 @@ def main(argv=None):
 if __name__ == "__main__":
     try:
         sys.exit(main())
-    except BaselineKeyMissing as error:
+    except (BaselineFileMissing, BaselineKeyMissing) as error:
         print(f"ERROR: {error}", file=sys.stderr)
         sys.exit(2)

@@ -10,6 +10,13 @@ Usage::
 
     PYTHONPATH=src python benchmarks/profile_hotpath.py            # table
     PYTHONPATH=src python benchmarks/profile_hotpath.py --json out.json
+    PYTHONPATH=src python benchmarks/profile_hotpath.py --shards 4
+
+``--shards N`` profiles the same workload under the sharded runtime
+(:mod:`repro.netsim.shard`, thread mode, one merged profile across the
+worker threads), so protocol costs — lockstep rounds, frame codec
+round-trips, staged-frame release — land in the same table as the
+dataplane they tax.
 
 ``--json`` writes the same top-N rows as a JSON artifact (CI uploads it
 from the bench-guard job) with per-function ``ncalls`` / ``tottime`` /
@@ -31,6 +38,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(HERE), "src"))
 sys.path.insert(0, HERE)
 
 import bench_scale  # noqa: E402  (path set up above)
+import bench_shard  # noqa: E402
 
 #: Bridge count profiled; big enough that the dataplane dominates the
 #: topology build, small enough for a sub-second CI step.
@@ -49,6 +57,39 @@ def profile_flood(n: int = PROFILE_N):
     profiler.disable()
     wall = time.perf_counter() - start
     return pstats.Stats(profiler), sim.events_processed, wall
+
+
+def profile_flood_sharded(n: int = PROFILE_N, shards: int = 2):
+    """Profile the sharded flood; returns (stats, events, wall).
+
+    Thread mode, one profiler per worker thread (``cProfile`` only
+    observes the thread that enabled it), merged afterwards — so the
+    table includes the shard runtime itself: ``run_until`` rounds,
+    frame packing, staged-frame release.
+    """
+    from repro.netsim.shard import run_sharded
+
+    bench_shard.sharded_flood(n, shards, mode="thread")  # warm-up
+    profilers = []
+
+    def worker(shard_id, shard_count, endpoint, n, seed):
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            return bench_shard.sharded_flood_worker(
+                shard_id, shard_count, endpoint, n, seed)
+        finally:
+            profiler.disable()
+            profilers.append(profiler)
+
+    start = time.perf_counter()
+    results = run_sharded(worker, shards, mode="thread", args=(n, 0))
+    wall = time.perf_counter() - start
+    stats = pstats.Stats(profilers[0])
+    for profiler in profilers[1:]:
+        stats.add(profiler)
+    events = sum(result["events"] for result in results)
+    return stats, events, wall
 
 
 def top_rows(stats: pstats.Stats, limit: int = TOP):
@@ -78,10 +119,19 @@ def main(argv=None) -> int:
                         help=f"bridge count to profile (default {PROFILE_N})")
     parser.add_argument("--top", type=int, default=TOP,
                         help=f"rows to print/export (default {TOP})")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="profile the sharded runtime with N worker "
+                             "threads instead of the bare engine "
+                             "(default 1 = direct Simulator)")
     args = parser.parse_args(argv)
 
-    stats, events, wall = profile_flood(args.n)
-    print(f"flood workload at n={args.n}: {events} events in "
+    if args.shards > 1:
+        stats, events, wall = profile_flood_sharded(args.n, args.shards)
+        label = f"sharded flood (shards={args.shards}, thread mode)"
+    else:
+        stats, events, wall = profile_flood(args.n)
+        label = "flood workload"
+    print(f"{label} at n={args.n}: {events} events in "
           f"{wall * 1e3:.1f} ms ({events / wall:,.0f} events/s)\n")
     out = io.StringIO()
     stats.stream = out
@@ -91,6 +141,7 @@ def main(argv=None) -> int:
     if args.json:
         payload = {
             "bridges": args.n,
+            "shards": args.shards,
             "events": events,
             "wall_seconds": round(wall, 6),
             "events_per_sec": round(events / wall),

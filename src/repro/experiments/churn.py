@@ -31,8 +31,11 @@ from repro.metrics.paths import PathObserver
 from repro.metrics.report import format_table
 from repro.netsim.dynamics import EventTimeline
 from repro.netsim.engine import Simulator
+from repro.netsim.shard import ShardRuntime, ShardedSimulator, \
+    derive_shard_seed, migration_lookahead
 from repro.topology.library import (CHURN_TOPOLOGIES, LOOP_FREE_TOPOLOGIES,
                                     churn_topology)
+from repro.topology.partition import partition_network
 from repro.traffic.video import stream_between
 
 #: Seconds the stream runs before churn starts (path establishment).
@@ -189,15 +192,134 @@ def run_protocol(protocol: ProtocolSpec, topology: str = "demo",
                     duplicates=sink.duplicates, repair_times=repair_times)
 
 
+def _churn_shard_worker(shard_id: int, shard_count: int, endpoint,
+                        protocol_name: str, stp_scale: float, topology: str,
+                        flap_rate: float, down_time: float, duration: float,
+                        crashes: int, migrations: int, fps: float,
+                        seed: int) -> Dict[str, Any]:
+    """One shard's portion of :func:`run_protocol` (run_protocol_sharded).
+
+    The churn timeline is *replicated*: every worker arms the full
+    schedule and replays every flap, crash and migration against its
+    own replica topology, so link state and wiring stay globally
+    consistent without any coordination — only the churn schedule's
+    determinism (a pure function of wiring and seed) makes this sound.
+    Node-level actions stay owner-only: the source starts and stops on
+    the shard owning the source host; the sink counts arrivals on the
+    shard owning the destination.
+    """
+    protocol = registry.protocol_specs([protocol_name],
+                                       stp_scale=stp_scale)[0]
+    sim = Simulator(seed=derive_shard_seed(seed, shard_id),
+                    keep_trace_records=False)
+    net, src, dst = churn_topology(sim, protocol.factory, topology,
+                                   seed=seed)
+    runtime = ShardRuntime(sim, shard_id, endpoint)
+    plan = partition_network(net, shard_count)
+    # A migration can make any host link a cut link, so the plan's
+    # static cut-latency lookahead is only valid while hosts sit still.
+    lookahead = migration_lookahead(net) if migrations > 0 else None
+    runtime.adopt(net, plan, lookahead=lookahead)
+    net.start()
+    runtime.run_for(protocol.warmup)
+    source, sink = stream_between(net.host(src), net.host(dst), fps=fps)
+    if runtime.owns(src):
+        source.start()
+    runtime.run_for(SETTLE)
+
+    start = sim.now
+    timeline = EventTimeline(net)
+    timeline.random_churn(seed=seed, start=start, duration=duration,
+                          flap_rate=flap_rate, mean_down_time=down_time,
+                          crashes=crashes, migrations=migrations)
+    timeline.arm()
+    runtime.run_until(start + duration)
+    end = sim.now
+    if runtime.owns(src):
+        source.stop()
+    runtime.run_for(1.0)
+
+    availability = None
+    if runtime.owns(dst):
+        availability = measure_availability(sink.arrivals, 1.0 / fps,
+                                            window_start=start,
+                                            window_end=end)
+    return {
+        "availability": availability,
+        "chunks_sent": source.sent if runtime.owns(src) else 0,
+        "chunks_received": sink.received if runtime.owns(dst) else 0,
+        "duplicates": sink.duplicates if runtime.owns(dst) else 0,
+        # Keyed by name so the merge can restore the global
+        # net.bridges order the single-process row concatenates in.
+        "repair_times": {name: list(bridge.repair.repair_times)
+                         for name, bridge in net.bridges.items()
+                         if runtime.owns(name)
+                         and isinstance(bridge, ArpPathBridge)},
+        "bridge_order": list(net.bridges),
+        "counts": dict(timeline.counts),
+    }
+
+
+def run_protocol_sharded(protocol: ProtocolSpec, topology: str = "demo",
+                         flap_rate: float = 0.2, down_time: float = 0.5,
+                         duration: float = 20.0, crashes: int = 0,
+                         migrations: int = 0, fps: float = 25.0,
+                         seed: int = 0, shards: int = 2,
+                         stp_scale: float = 0.1,
+                         mode: str = "auto") -> ChurnRow:
+    """:func:`run_protocol` across *shards* engines, byte-identically.
+
+    ``scripted_failures`` is unsupported sharded (its PathObserver
+    needs hop tracing, a whole-simulation observable) — :func:`run`
+    rejects that combination before dispatching here. ``shards=1``
+    short-circuits to :func:`run_protocol`.
+    """
+    if shards == 1:
+        return run_protocol(protocol, topology=topology,
+                            flap_rate=flap_rate, down_time=down_time,
+                            duration=duration, crashes=crashes,
+                            migrations=migrations, fps=fps, seed=seed)
+    results = ShardedSimulator(shards, mode=mode).run(
+        _churn_shard_worker, protocol.key or protocol.name, stp_scale,
+        topology, flap_rate, down_time, duration, crashes, migrations,
+        fps, seed)
+    availability = next(result["availability"] for result in results
+                        if result["availability"] is not None)
+    merged_repairs: Dict[str, List[float]] = {}
+    for result in results:
+        merged_repairs.update(result["repair_times"])
+    repair_times = [value for name in results[0]["bridge_order"]
+                    for value in merged_repairs.get(name, ())]
+    counts = results[0]["counts"]
+    return ChurnRow(protocol=protocol.name, topology=topology,
+                    flap_rate=flap_rate, down_time=down_time,
+                    duration=duration, crashes=counts["crashes"],
+                    migrations=counts["migrations"],
+                    scripted_failures=0, flaps=counts["flaps"],
+                    availability=availability,
+                    chunks_sent=sum(result["chunks_sent"]
+                                    for result in results),
+                    chunks_received=sum(result["chunks_received"]
+                                        for result in results),
+                    duplicates=sum(result["duplicates"]
+                                   for result in results),
+                    repair_times=repair_times)
+
+
 def run(topology: str = "demo",
         protocols: Optional[List[str]] = None, flap_rate: float = 0.2,
         down_time: float = 0.5, duration: float = 20.0, crashes: int = 0,
         migrations: int = 0, scripted_failures: int = 0, fps: float = 25.0,
-        stp_scale: float = 0.1, seed: int = 0) -> ChurnResult:
+        stp_scale: float = 0.1, shards: int = 1,
+        seed: int = 0) -> ChurnResult:
     """The churn comparison across bridge families.
 
     A plain learning switch storms on any wiring with redundant paths,
-    so requesting it on a loopy topology is refused up front.
+    so requesting it on a loopy topology is refused up front. ``shards``
+    splits every run's simulation across that many engines
+    (:func:`run_protocol_sharded`); rows are byte-identical at any
+    shard count. Scripted failures need whole-simulation hop tracing,
+    which no shard has, so that combination is refused.
     """
     names = protocols if protocols is not None else ["arppath", "stp",
                                                      "spb"]
@@ -205,28 +327,41 @@ def run(topology: str = "demo",
         raise ValueError(
             f"protocol 'learning' storms on loopy topologies; use one of "
             f"{', '.join(LOOP_FREE_TOPOLOGIES)} (got {topology!r})")
+    if scripted_failures > 0 and shards > 1:
+        raise ValueError(
+            "scripted_failures needs whole-simulation hop tracing (the "
+            "PathObserver); run it with shards=1")
     chosen = registry.protocol_specs(names, stp_scale=stp_scale)
     result = ChurnResult()
     for protocol in chosen:
-        result.rows.append(run_protocol(
-            protocol, topology=topology, flap_rate=flap_rate,
-            down_time=down_time, duration=duration, crashes=crashes,
-            migrations=migrations, scripted_failures=scripted_failures,
-            fps=fps, seed=seed))
+        if shards == 1:
+            row = run_protocol(
+                protocol, topology=topology, flap_rate=flap_rate,
+                down_time=down_time, duration=duration, crashes=crashes,
+                migrations=migrations,
+                scripted_failures=scripted_failures, fps=fps, seed=seed)
+        else:
+            row = run_protocol_sharded(
+                protocol, topology=topology, flap_rate=flap_rate,
+                down_time=down_time, duration=duration, crashes=crashes,
+                migrations=migrations, fps=fps, seed=seed, shards=shards,
+                stp_scale=stp_scale)
+        result.rows.append(row)
     return result
 
 
 def _churn_scenario(seeds: List[int], topology: str, protocols: List[str],
                     flap_rate: float, down_time: float, duration: float,
                     crashes: int, migrations: int, scripted_failures: int,
-                    fps: float, stp_scale: float) -> ChurnResult:
+                    fps: float, stp_scale: float, shards: int) -> ChurnResult:
     return registry.seeded(
         lambda seed: run(topology=topology, protocols=protocols,
                          flap_rate=flap_rate, down_time=down_time,
                          duration=duration, crashes=crashes,
                          migrations=migrations,
                          scripted_failures=scripted_failures, fps=fps,
-                         stp_scale=stp_scale, seed=seed))(seeds)
+                         stp_scale=stp_scale, shards=shards,
+                         seed=seed))(seeds)
 
 
 registry.register(registry.Scenario(
@@ -255,6 +390,9 @@ registry.register(registry.Scenario(
         registry.Param("fps", float, 25.0, help="probe stream rate"),
         registry.Param("stp_scale", float, 0.1,
                        help="STP timer scale (1.0 = IEEE defaults)"),
+        registry.Param("shards", int, 1,
+                       help="engines per run (conservative PDES; rows "
+                            "are byte-identical at any shard count)"),
         registry.seeds_param(),
     ),
     run=_churn_scenario,

@@ -34,6 +34,11 @@ class ProtocolSpec:
     name: str
     factory: BridgeFactory
     warmup: float
+    #: The :func:`spec` lookup key that built this (``"stp"``, not the
+    #: display name ``"stp(x0.1)"``) — what a shard worker passes back
+    #: to :func:`repro.experiments.registry.protocol_specs` to rebuild
+    #: the identical spec in its own process.
+    key: str = ""
 
     @property
     def label(self) -> str:
@@ -69,7 +74,8 @@ def spec(protocol: str, *, arppath_config: Optional[ArpPathConfig] = None,
     else:
         raise ValueError(f"unknown protocol: {protocol}")
     return ProtocolSpec(name=name, factory=factory,
-                        warmup=warmup if warmup is not None else default_warmup)
+                        warmup=warmup if warmup is not None else default_warmup,
+                        key=protocol)
 
 
 def default_comparison() -> List[ProtocolSpec]:

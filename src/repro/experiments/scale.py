@@ -43,7 +43,10 @@ from repro.metrics.report import format_table
 from repro.netsim import tracer as trc
 from repro.netsim.engine import Simulator
 from repro.netsim.meminfo import MemorySampler
+from repro.netsim.shard import ShardRuntime, ShardedSimulator, \
+    derive_shard_seed
 from repro.topology.library import SCALE_TOPOLOGIES, scale_topology
+from repro.topology.partition import partition_network
 
 #: Wirings without redundant paths — the only ones a plain learning
 #: switch survives (mirrors the churn scenario's gate).
@@ -219,14 +222,176 @@ def run_case(protocol: ProtocolSpec, kind: str, size: int, pairs: int = 3,
         events_processed=sim.events_processed)
 
 
+def _scale_shard_worker(shard_id: int, shard_count: int, endpoint,
+                        protocol_name: str, stp_scale: float, kind: str,
+                        size: int, pairs: int, probes: int,
+                        seed: int) -> Dict[str, Any]:
+    """One shard's portion of :func:`run_case` (see run_case_sharded).
+
+    The phase schedule — warmup, convergence probe, bulk probes — and
+    every scheduling instant mirror :func:`run_case` exactly; the only
+    differences are ownership guards (a shard touches only its own
+    nodes) and the boundary machinery. Returns plain picklable data
+    for :func:`_merge_scale_shards`.
+    """
+    protocol = registry.protocol_specs([protocol_name],
+                                       stp_scale=stp_scale)[0]
+    sim = Simulator(seed=derive_shard_seed(seed, shard_id),
+                    keep_trace_records=False)
+    # Builders take the *base* seed: the wiring must be identical in
+    # every worker; only the engine stream is per-shard.
+    net, src, dst = scale_topology(sim, protocol.factory, kind, size,
+                                   seed=seed)
+    runtime = ShardRuntime(sim, shard_id, endpoint)
+    runtime.adopt(net, partition_network(net, shard_count))
+    # record_series: whole-run peaks are maxima of *per-instant sums*
+    # across shards, so the merge needs every sample, not two peaks.
+    sampler = MemorySampler(sim, interval=0.5, record_series=True,
+                            adjust=runtime.pending_adjust,
+                            count_self=(shard_id == 0))
+    sampler.start()
+    net.start()
+    runtime.run_for(protocol.warmup)
+
+    sim.tracer.reset()
+    hosts = _natural(net.hosts)
+    owned = [name for name in hosts if runtime.owns(name)]
+    replies_before = sum(net.host(name).counters.echo_replies_received
+                        for name in owned)
+
+    arrivals: List[float] = []
+    started = sim.now
+    if runtime.owns(src):
+        net.host(src).ping(net.host(dst).ip,
+                           on_reply=lambda seq, rtt:
+                           arrivals.append(sim.now))
+    runtime.run_for(0.5)
+    convergence = arrivals[0] - started if arrivals else None
+
+    count = min(pairs, len(hosts) // 2)
+    chosen = [(hosts[i], hosts[-1 - i]) for i in range(count)]
+    specs = []
+    full_specs = 0
+    for index, (a, b) in enumerate(chosen):
+        target = net.host(b).ip
+        ping = net.host(a).ping
+        for round_index in range(probes):
+            full_specs += 1
+            if runtime.owns(a):
+                specs.append((index * PAIR_STAGGER
+                              + round_index * PROBE_SPACING, ping, target,
+                              round_index))
+    sim.schedule_bulk(specs)
+    runtime.run_for(count * PAIR_STAGGER + probes * PROBE_SPACING + DRAIN)
+    sampler.stop()
+
+    return {
+        "frames_sent": sim.tracer.counts[trc.SENT],
+        "sent": dict(sim.tracer.by_ethertype[trc.SENT]),
+        "payloads": sum(net.host(name).counters.ip_received
+                        for name in owned),
+        "answered": sum(net.host(name).counters.echo_replies_received
+                        for name in owned) - replies_before,
+        "states": [bridge_state_entries(bridge)
+                   for name, bridge in net.bridges.items()
+                   if runtime.owns(name)],
+        "convergence": convergence,
+        "src_owner": runtime.owns(src),
+        "bridges": len(net.bridges),
+        "links": len(net.links),
+        "hosts": len(net.hosts),
+        "probes_sent": full_specs + 1,
+        "events": sim.events_processed,
+        "samples": sampler.samples,
+        "series": sampler.series,
+    }
+
+
+def _merge_scale_shards(protocol: ProtocolSpec, kind: str, size: int,
+                        shards: List[Dict[str, Any]]) -> ScaleRow:
+    """Fold per-shard results into the single-process :class:`ScaleRow`.
+
+    Every field is either owned-once (summable: tracer counts, host
+    counters, bridge states), a single-owner scalar (convergence), or
+    needs instant-alignment (the sampler series — per-shard peaks fall
+    at different instants, so the simulation's peak is the max of the
+    per-sample sums). ``events_processed`` subtracts the K-1 replica
+    samplers' tick events (``samples - 2``: start and stop are inline,
+    not events) — the one place a shard engine processes an event the
+    single engine does not.
+    """
+    first = shards[0]
+    sent: Dict[int, int] = {}
+    for result in shards:
+        for ethertype, count in result["sent"].items():
+            sent[ethertype] = sent.get(ethertype, 0) + count
+    control = (sent.get(ETHERTYPE_ARPPATH, 0) + sent.get(ETHERTYPE_BPDU, 0)
+               + sent.get(ETHERTYPE_LSP, 0))
+    states = [entry for result in shards for entry in result["states"]]
+    convergence = next((result["convergence"] for result in shards
+                        if result["src_owner"]), None)
+
+    lengths = {len(result["series"]) for result in shards}
+    if len(lengths) != 1:
+        raise RuntimeError(
+            f"shard sampler series diverged in length: {sorted(lengths)}")
+    peak_pending = 0
+    peak_wheel = 0
+    for index in range(lengths.pop()):
+        pending = sum(result["series"][index][0] for result in shards)
+        wheel = sum(result["series"][index][1] for result in shards)
+        if pending > peak_pending:
+            peak_pending = pending
+        if wheel > peak_wheel:
+            peak_wheel = wheel
+
+    events = sum(result["events"] for result in shards) \
+        - sum(result["samples"] - 2 for result in shards[1:])
+    return ScaleRow(
+        protocol=protocol.name, kind=kind, size=size,
+        bridges=first["bridges"], links=first["links"],
+        hosts=first["hosts"], convergence_s=convergence,
+        frames_sent=sum(result["frames_sent"] for result in shards),
+        arp_frames=sent.get(ETHERTYPE_ARP, 0), control_frames=control,
+        payloads_delivered=sum(result["payloads"] for result in shards),
+        peak_state=max(states), mean_state=sum(states) / len(states),
+        peak_pending_events=peak_pending, peak_wheel_timers=peak_wheel,
+        probes_sent=first["probes_sent"],
+        probes_answered=sum(result["answered"] for result in shards),
+        events_processed=events)
+
+
+def run_case_sharded(protocol: ProtocolSpec, kind: str, size: int,
+                     pairs: int = 3, probes: int = 3, seed: int = 0,
+                     shards: int = 2, stp_scale: float = 0.1,
+                     mode: str = "auto") -> ScaleRow:
+    """One cell of :func:`run_case`, executed across *shards* engines.
+
+    Produces the byte-identical row :func:`run_case` would — the
+    partition, boundary synchronisation and merge are all exact (see
+    :mod:`repro.netsim.shard`). ``shards=1`` short-circuits to
+    :func:`run_case` itself: no fabric, no worker, no overhead.
+    """
+    if shards == 1:
+        return run_case(protocol, kind, size, pairs=pairs, probes=probes,
+                        seed=seed)
+    results = ShardedSimulator(shards, mode=mode).run(
+        _scale_shard_worker, protocol.key or protocol.name, stp_scale,
+        kind, size, pairs, probes, seed)
+    return _merge_scale_shards(protocol, kind, size, results)
+
+
 def run(kind: str = "grid", sizes: List[int] = [16, 36, 64],
         protocols: Optional[List[str]] = None, pairs: int = 3,
-        probes: int = 3, stp_scale: float = 0.1,
+        probes: int = 3, stp_scale: float = 0.1, shards: int = 1,
         seed: int = 0) -> ScaleResult:
     """The size sweep across bridge families.
 
     A plain learning switch storms on any wiring with redundant paths,
-    so requesting it outside ``line`` is refused up front.
+    so requesting it outside ``line`` is refused up front. ``shards``
+    splits every cell's simulation across that many engines
+    (:func:`run_case_sharded`); the rows are byte-identical at any
+    shard count.
     """
     names = protocols if protocols is not None else ["arppath", "spb"]
     if "learning" in names and kind not in LOOP_FREE_SCALE:
@@ -237,18 +402,24 @@ def run(kind: str = "grid", sizes: List[int] = [16, 36, 64],
     result = ScaleResult()
     for protocol in chosen:
         for size in sizes:
-            result.rows.append(run_case(protocol, kind, size, pairs=pairs,
-                                        probes=probes, seed=seed))
+            if shards == 1:
+                row = run_case(protocol, kind, size, pairs=pairs,
+                               probes=probes, seed=seed)
+            else:
+                row = run_case_sharded(protocol, kind, size, pairs=pairs,
+                                       probes=probes, seed=seed,
+                                       shards=shards, stp_scale=stp_scale)
+            result.rows.append(row)
     return result
 
 
 def _scale_scenario(seeds: List[int], kind: str, sizes: List[int],
                     protocols: List[str], pairs: int, probes: int,
-                    stp_scale: float) -> ScaleResult:
+                    stp_scale: float, shards: int) -> ScaleResult:
     return registry.seeded(
         lambda seed: run(kind=kind, sizes=sizes, protocols=protocols,
                          pairs=pairs, probes=probes, stp_scale=stp_scale,
-                         seed=seed))(seeds)
+                         shards=shards, seed=seed))(seeds)
 
 
 registry.register(registry.Scenario(
@@ -269,6 +440,9 @@ registry.register(registry.Scenario(
         registry.Param("probes", int, 3, help="probe rounds per pair"),
         registry.Param("stp_scale", float, 0.1,
                        help="STP timer scale (1.0 = IEEE defaults)"),
+        registry.Param("shards", int, 1,
+                       help="engines per cell (conservative PDES; rows "
+                            "are byte-identical at any shard count)"),
         registry.seeds_param(),
     ),
     run=_scale_scenario,

@@ -486,6 +486,49 @@ class Simulator:
         """Run for *duration* seconds of simulated time from now."""
         self.run(until=self._now + duration)
 
+    def run_below(self, bound: float) -> None:
+        """Run every event strictly before *bound*, then jump to *bound*.
+
+        The open-interval twin of :meth:`run` (which is inclusive of
+        *until*): this is the window primitive the sharded runtime
+        (:mod:`repro.netsim.shard`) needs, because a conservative
+        synchronization window guarantees knowledge of remote events
+        *below* the safe time, not at it — an event at exactly the safe
+        time may still be beaten by a remote frame arriving at that same
+        instant with an earlier tie-break. Pours are likewise capped at
+        *bound* so far-future wheel timers keep O(1) cancellation. A
+        call with ``bound <= now`` is a no-op.
+        """
+        if bound <= self._now:
+            return
+        queue = self._queue
+        wheel = self.wheel
+        heappop = heapq.heappop
+        while True:
+            if wheel._size:
+                horizon = queue[0][0] if queue else wheel._next_due
+                if horizon > bound:
+                    horizon = bound
+                if wheel._next_due <= horizon:
+                    wheel.pour(horizon, queue)
+                    if not queue:
+                        continue
+            if not queue:
+                break
+            event = queue[0][3]
+            if event.cancelled:
+                heappop(queue)
+                continue
+            if event.time >= bound:
+                break
+            heappop(queue)
+            self._now = event.time
+            self.events_processed += 1
+            self._pending -= 1
+            event._sim = None
+            event.callback(*event.args)
+        self._now = bound
+
     @property
     def pending_events(self) -> int:
         """Number of queued, non-cancelled events — O(1).
@@ -496,6 +539,22 @@ class Simulator:
         against a full scan.
         """
         return self._pending
+
+    def next_event_time(self) -> float:
+        """Earliest timestamp anything could fire at — O(1), conservative.
+
+        The minimum of the heap head and the wheel's next due bucket;
+        ``inf`` when both are empty. A cancelled heap head only makes
+        the answer *earlier* than the true next event, which is the
+        safe direction for its one consumer: the sharded runtime's
+        per-window horizon (:mod:`repro.netsim.shard`), where a bound
+        computed from an under-estimate is still a valid guarantee.
+        """
+        queue = self._queue
+        head = queue[0][0] if queue else _INF
+        if self.wheel._size and self.wheel._next_due < head:
+            head = self.wheel._next_due
+        return head
 
     def audit_pending_events(self) -> int:
         """O(n) debug scan of the heap and wheel; asserts it matches the

@@ -62,7 +62,7 @@ class _Direction:
     """Transmitter state for one direction of the link."""
 
     __slots__ = ("queue", "busy_until", "pending", "drain_event",
-                 "queue_drops", "carrier_drops", "to_port")
+                 "queue_drops", "carrier_drops", "to_port", "export")
 
     def __init__(self, to_port: Port):
         # The queue is unbounded here; Link.transmit enforces the
@@ -88,6 +88,13 @@ class _Direction:
         #: The receiving endpoint of this direction, cached so delivery
         #: skips the two identity compares of :meth:`Link.other`.
         self.to_port = to_port
+        #: Boundary hook for the sharded runtime: when set, a frame that
+        #: clears serialisation is handed to ``export(send_time,
+        #: deliver_time, frame)`` instead of scheduling a local delivery
+        #: event — the receiving shard schedules the delivery on its own
+        #: engine. None (the overwhelmingly common case) keeps the
+        #: single-process fast path branch-predictable.
+        self.export = None
 
 
 class Link:
@@ -191,6 +198,12 @@ class Link:
                           frame.ethertype, size, frame.src, frame.dst)
         ser = size * self._ser_per_byte
         direction.busy_until = now + ser
+        if direction.export is not None:
+            # Shard boundary: the frame leaves this engine. The receiving
+            # shard schedules the delivery, so this hop costs the same
+            # one engine event system-wide as the local path below.
+            direction.export(now, now + ser + self.latency, frame)
+            return
         # Inlined Simulator.schedule (keep in sync with it): one Event
         # filled by slot writes, one heap entry in the engine's
         # documented (time, priority, seq, event) tuple shape. The
@@ -229,6 +242,9 @@ class Link:
         # rather than paying the property descriptor again.
         ser = frame._wire_size * self._ser_per_byte
         direction.busy_until = now + ser
+        if direction.export is not None:
+            direction.export(now, now + ser + self.latency, frame)
+            return
         event = self.sim.schedule(ser + self.latency, self._deliver,
                                   direction, frame)
         pending = direction.pending
@@ -319,8 +335,12 @@ class Link:
 
     def _notify_carrier(self, up: bool) -> None:
         for port in (self.port_a, self.port_b):
-            self.sim.call_soon(port.node.link_state_changed, port, up,
-                               priority=PRIORITY_EARLY)
+            # Ghost endpoints (sharded runs) were never started and must
+            # schedule nothing, or per-shard event counts would not sum
+            # to the single-process count.
+            if not port.node.shard_ghost:
+                self.sim.call_soon(port.node.link_state_changed, port, up,
+                                   priority=PRIORITY_EARLY)
 
     # -- introspection -----------------------------------------------------
 

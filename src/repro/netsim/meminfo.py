@@ -94,10 +94,12 @@ class MemorySampler:
 
     __slots__ = ("sim", "interval", "track_rss", "samples",
                  "peak_pending_events", "peak_wheel_timers",
-                 "peak_rss", "_event", "_stopped")
+                 "peak_rss", "series", "_adjust", "_event", "_stopped",
+                 "_count_self")
 
     def __init__(self, sim, interval: float = 0.5,
-                 track_rss: bool = False):
+                 track_rss: bool = False, record_series: bool = False,
+                 adjust=None, count_self: bool = True):
         if interval <= 0:
             raise ValueError(f"sample interval must be > 0: {interval}")
         self.sim = sim
@@ -108,6 +110,23 @@ class MemorySampler:
         self.peak_wheel_timers = 0
         #: Peak process RSS in bytes (0 unless ``track_rss``).
         self.peak_rss = 0
+        #: With ``record_series=True``, the full per-sample sequence of
+        #: ``(pending, wheel)`` pairs. The sharded runtime needs the
+        #: whole series, not just peaks: per-shard peaks occur at
+        #: different instants, so a whole-simulation peak is the max of
+        #: the *per-instant sums* across shards.
+        self.series = [] if record_series else None
+        #: Optional callable returning ``(pending_delta, wheel_delta)``
+        #: applied to every sample — the shard runtime's hook for
+        #: counting frames that are in flight between shards (and so in
+        #: no local heap) at the sampling instant.
+        self._adjust = adjust
+        #: With ``count_self=False`` the sampler's own live tick timer is
+        #: subtracted from every sample. A sharded run has one sampler
+        #: per shard but must report the footprint of the one simulation;
+        #: exactly one sampler (shard 0's) plays the single-process
+        #: sampler's part and the K-1 others efface themselves.
+        self._count_self = count_self
         self._event = None
         self._stopped = False
 
@@ -139,9 +158,26 @@ class MemorySampler:
     def _sample(self) -> None:
         self.samples += 1
         pending = self.sim.pending_events
+        wheel_size = len(self.sim.wheel)
+        if self._adjust is not None:
+            pending_delta, wheel_delta = self._adjust()
+            pending += pending_delta
+            wheel_size += wheel_delta
+        if not self._count_self:
+            event = self._event
+            if event is not None and event._sim is not None:
+                # Our own armed tick timer: off the books. It is on the
+                # wheel unless a pour already promoted it to the heap
+                # (only plausible at the stop sample), so check where it
+                # actually lives before decrementing the wheel count.
+                pending -= 1
+                if any(ev is event
+                       for ev in self.sim.wheel._iter_events()):
+                    wheel_size -= 1
+        if self.series is not None:
+            self.series.append((pending, wheel_size))
         if pending > self.peak_pending_events:
             self.peak_pending_events = pending
-        wheel_size = len(self.sim.wheel)
         if wheel_size > self.peak_wheel_timers:
             self.peak_wheel_timers = wheel_size
         if self.track_rss:

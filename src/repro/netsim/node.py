@@ -83,6 +83,11 @@ class Port:
 class Node:
     """Base class for bridges and hosts."""
 
+    #: True on replica nodes owned by another shard in a sharded run
+    #: (:mod:`repro.netsim.shard`): ghosts are built for topology
+    #: bookkeeping but never started, so they schedule nothing.
+    shard_ghost = False
+
     def __init__(self, sim: Simulator, name: str):
         self.sim = sim
         self.name = name

@@ -1,0 +1,524 @@
+"""Sharded parallel execution: one simulation across many engines.
+
+One :class:`~repro.netsim.engine.Simulator` is single-threaded by
+design; this module runs *one logical simulation* as K cooperating
+engines (shards), one worker (process or thread) each, synchronized
+with the classic conservative null-message protocol (Chandy–Misra–
+Bryant): every cut link's propagation latency is *lookahead* — shard A
+can promise shard B "nothing from me before ``t + lookahead``" — and
+each shard only fires events strictly below the minimum promise it
+holds from its peers.
+
+The contract is exact, not approximate: a sharded run produces
+**byte-identical experiment records** to the single-process run at any
+shard count. The pieces that make that hold:
+
+* **Deterministic partition** — :func:`repro.topology.partition
+  .partition_network` is a pure function of the wiring; every worker
+  computes the same plan without coordination.
+* **Full replica topology** — every worker builds the *entire* network
+  with the same builder calls (same names, MACs, IPs, link latencies);
+  nodes owned by other shards are *ghosts*: present for bookkeeping,
+  never started, so they schedule nothing.
+* **Boundary export** — a frame transmitted into a cut link is handed
+  to the owning peer as ``(send_time, deliver_time, bytes)`` instead of
+  a local delivery event (:attr:`_Direction.export`); the receiver
+  schedules the delivery on its own engine at the exact same instant
+  the single-process run would have. One engine event per cross-shard
+  hop, system-wide — the same event economy as a local hop.
+* **Deterministic boundary ordering** — staged remote frames are
+  released in ``(deliver_time, src_shard, src_seq)`` order, so
+  same-instant boundary deliveries tie-break identically at any shard
+  count. (Cross-shard vs local ties at the *exact* same instant remain
+  a heap-sequence lottery, like the PR 5 measure-zero caveat; the
+  experiment topologies jitter link latencies, which makes exact ties
+  measure-zero.)
+* **Per-shard RNG derivation** — worker k seeds its engine with
+  :func:`derive_shard_seed` (identity at shard 0), so no two shards
+  share an RNG stream yet shard 0 reproduces the single-process
+  stream. Topology builders always get the *base* seed — wiring must
+  be identical everywhere.
+
+Lockstep rounds
+---------------
+
+Workers exchange one message with every peer per round — ``(horizon,
+done, frames)`` — send-all-then-receive-all, so the mesh cannot
+deadlock. A shard's *horizon* is the earliest instant anything it
+still holds could fire: its next local event, its earliest staged
+remote frame, or the earliest frame in the batches it is flushing in
+that very message. Because the exchange is a barrier, channels are
+empty between rounds, so every future event anywhere in the system
+must chain from state some shard just counted — which makes
+``min(all horizons)`` a floor on every future firing, and
+``global_min + lookahead`` a floor on every future *input*. Each
+round a shard releases staged frames and runs strictly below that
+window; a quiet stretch costs one round (the window jumps straight to
+the next event time — no null-message creep), a dense burst creeps by
+one lookahead per round but fires many events each. When the window
+clears the phase target T the shard runs inclusively to T and flags
+``done`` — everything that closing slice exports provably lands beyond
+T, so it stays staged for the next phase, exactly the single-process
+semantics of ``run(until=T)`` leaving future events queued. All
+workers observe the all-done round simultaneously, so every phase
+costs the same number of rounds everywhere and channels never carry
+cross-phase traffic.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_mod
+import threading
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.netsim import tracer as trc
+from repro.netsim.engine import Simulator
+from repro.netsim.errors import TopologyError
+from repro.netsim.link import Link
+from repro.netsim.sync import (Endpoint, make_process_fabric,
+                               make_thread_fabric, pack_frame, unpack_frame)
+from repro.topology.builder import Network
+from repro.topology.partition import ShardPlan
+
+_INF = float("inf")
+
+#: Golden-ratio multiplier (Weyl/Fibonacci hashing): spreads shard ids
+#: across the 32-bit seed space so derived engine streams decorrelate.
+_SEED_MIX = 0x9E3779B9
+
+
+class ShardWorkerError(RuntimeError):
+    """One or more shard workers failed; carries their tracebacks."""
+
+
+def derive_shard_seed(seed: int, shard_id: int) -> int:
+    """The engine seed for *shard_id* of a run seeded with *seed*.
+
+    Identity at shard 0 — the shard that plays the single-process
+    engine's part reproduces its RNG stream bit-for-bit — and a
+    golden-ratio XOR mix elsewhere so sibling shards never share a
+    stream. Pinned by test: this derivation is part of the determinism
+    contract (re-deriving differently would silently change any future
+    experiment that draws from ``sim.rng``).
+    """
+    return seed ^ ((_SEED_MIX * shard_id) & 0xFFFFFFFF)
+
+
+def migration_lookahead(net: Network) -> float:
+    """Null-message lookahead for a run whose churn migrates hosts.
+
+    A migration can turn *any* host's access link into a cut link, so
+    the static plan's minimum-cut-latency lookahead is not a valid
+    floor; the minimum over **all** link latencies is.
+    """
+    lookahead = min((wire.latency for wire in net.links.values()),
+                    default=_INF)
+    if lookahead <= 0.0:
+        raise TopologyError(
+            "cannot shard with migrations: a zero-latency link could "
+            "become a cut link with no lookahead")
+    return lookahead
+
+
+class ShardRuntime:
+    """One worker's half of the conservative protocol.
+
+    Owns the shard's engine plus the boundary state: export hooks on
+    cut-link directions, the staged remote frames not yet safe to
+    release, the in-flight ledger the memory sampler consults, and the
+    per-link carrier history the release-time drop rule replays.
+    """
+
+    def __init__(self, sim: Simulator, shard_id: int,
+                 endpoint: Optional[Endpoint]):
+        self.sim = sim
+        self.shard_id = shard_id
+        self.endpoint = endpoint
+        self.net: Optional[Network] = None
+        self.plan: Optional[ShardPlan] = None
+        self.lookahead = _INF
+        #: Staged remote frames: (t2, src_shard, src_seq, link_name,
+        #: dir_key, t1, data, uid, aux). Sorted lazily at release.
+        self._staged: List[tuple] = []
+        #: Per-peer outgoing frame batches, flushed every round.
+        self._outbox: Dict[int, List[tuple]] = {}
+        #: Cut links by name — release resolves against the *current*
+        #: object, so a link replaced under the same name (migration
+        #: round trip) keeps working.
+        self._links: Dict[str, Link] = {}
+        #: Last carrier-loss instant per cut-link name. Keyed by name,
+        #: not object, so the drop rule survives link replacement.
+        self._down_at: Dict[str, float] = {}
+        #: (link_name, dir_key) -> deliver times of frames this shard
+        #: exported that are still in flight — the sender-side half of
+        #: the sampler's pending-event accounting.
+        self._ledger: Dict[Tuple[str, int], List[float]] = {}
+        #: Live delivery events this shard scheduled for released
+        #: remote frames — the receiver-side half (subtracted, because
+        #: the sender's ledger already counts the in-flight frame).
+        self._released: List[Any] = []
+        self._export_seq = 0
+
+    # -- adoption ------------------------------------------------------------
+
+    def owns(self, name: str) -> bool:
+        """Does this shard own the named node?"""
+        return self.plan.shard_of(name) == self.shard_id
+
+    def adopt(self, net: Network, plan: ShardPlan,
+              lookahead: Optional[float] = None) -> None:
+        """Take charge of *net* according to *plan*.
+
+        Marks other shards' nodes as ghosts, installs boundary export
+        hooks on every cut link (and, via ``Network._link_hook``, on
+        any link created later — migrations), and fixes the protocol
+        lookahead (*lookahead* overrides the plan's, e.g.
+        :func:`migration_lookahead` when hosts will move).
+        """
+        self.net = net
+        self.plan = plan
+        self.lookahead = plan.lookahead if lookahead is None else lookahead
+        if self.endpoint is not None:
+            for peer in self.endpoint.peers:
+                self._outbox[peer] = []
+        for registry in (net.bridges, net.hosts):
+            for name, node in registry.items():
+                if plan.shard_of(name) != self.shard_id:
+                    node.shard_ghost = True
+        for wire in net.links.values():
+            self._wire_link(wire)
+        net._link_hook = self._wire_link
+
+    def _wire_link(self, wire: Link) -> None:
+        """Classify one link; install boundary hooks if it is cut."""
+        plan = self.plan
+        shard_a = plan.shard_of(wire.port_a.node.name)
+        shard_b = plan.shard_of(wire.port_b.node.name)
+        if shard_a == shard_b:
+            return
+        self._links[wire.name] = wire
+        self._wrap_take_down(wire)
+        for dir_key, (from_port, from_shard, to_shard) in enumerate(
+                ((wire.port_a, shard_a, shard_b),
+                 (wire.port_b, shard_b, shard_a))):
+            if from_shard == self.shard_id:
+                direction = wire._dirs[from_port]
+                direction.export = self._make_export(wire.name, dir_key,
+                                                     to_shard)
+
+    def _wrap_take_down(self, wire: Link) -> None:
+        """Record carrier-loss instants for the release-time drop rule.
+
+        A cut link's in-flight frames live in *neither* engine's heap
+        (they are bytes in a channel), so the single-process semantics
+        "take_down cancels in-flight deliveries" must be replayed when
+        the receiver stages them: drop iff the carrier was lost after
+        the frame was sent and before it would have arrived.
+        """
+        original = wire.take_down
+        runtime = self
+
+        def take_down() -> None:
+            if wire.up:
+                runtime._down_at[wire.name] = runtime.sim._now
+                # Exported in-flight frames die with the carrier — the
+                # receiving shard replays the drop; stop counting them.
+                runtime._ledger.pop((wire.name, 0), None)
+                runtime._ledger.pop((wire.name, 1), None)
+            original()
+
+        wire.take_down = take_down
+
+    def _make_export(self, link_name: str, dir_key: int,
+                     dst_shard: int) -> Callable[[float, float, Any], None]:
+        runtime = self
+
+        def export(send_time: float, deliver_time: float, frame) -> None:
+            data, uid, aux = pack_frame(frame)
+            runtime._export_seq += 1
+            runtime._outbox[dst_shard].append(
+                (link_name, dir_key, send_time, deliver_time, data, uid,
+                 aux, runtime._export_seq))
+            runtime._ledger.setdefault((link_name, dir_key),
+                                       []).append(deliver_time)
+
+        return export
+
+    # -- sampler hook --------------------------------------------------------
+
+    def pending_adjust(self) -> Tuple[int, int]:
+        """``(pending_delta, wheel_delta)`` for the memory sampler.
+
+        A frame in flight across the boundary is one pending delivery
+        event in the single-process run. Here it is either bytes in a
+        channel (counted by the sender's ledger until its deliver time
+        passes) or an already-scheduled event on the receiver (counted
+        by the receiver's engine **and** still by the sender's ledger —
+        so the receiver subtracts its live released events). Summing
+        both shards' samples at one instant therefore reproduces the
+        single-process pending count exactly. Wheel delta is zero:
+        deliveries are heap events in both worlds.
+        """
+        now = self.sim._now
+        sender = 0
+        for t2s in self._ledger.values():
+            if t2s:
+                t2s[:] = [t2 for t2 in t2s if t2 > now]
+                sender += len(t2s)
+        if self._released:
+            self._released = [event for event in self._released
+                              if event._sim is not None]
+        return sender - len(self._released), 0
+
+    # -- staged-frame release ------------------------------------------------
+
+    def _release(self, bound: float, inclusive: bool) -> None:
+        """Schedule every staged frame due before *bound* (at it, too,
+        when *inclusive*) in deterministic boundary order."""
+        staged = self._staged
+        if not staged:
+            return
+        if inclusive:
+            ready = [entry for entry in staged if entry[0] <= bound]
+        else:
+            ready = [entry for entry in staged if entry[0] < bound]
+        if not ready:
+            return
+        self._staged = [entry for entry in staged
+                        if (entry[0] > bound if inclusive
+                            else entry[0] >= bound)]
+        # (t2, src_shard, src_seq): the documented boundary tie-break.
+        # Scheduling in this order hands same-instant deliveries
+        # monotonically increasing engine seqs, making the merge order
+        # a pure function of the simulation, not of worker timing.
+        ready.sort(key=lambda entry: entry[:3])
+        sim = self.sim
+        for (t2, _src_shard, _src_seq, link_name, dir_key, t1, data, uid,
+             aux) in ready:
+            wire = self._links[link_name]
+            frame = unpack_frame(data, uid, aux)
+            direction = wire._dirs[wire.port_a if dir_key == 0
+                                   else wire.port_b]
+            down_at = self._down_at.get(link_name)
+            if down_at is not None and t1 <= down_at < t2:
+                # The carrier drop this worker replayed at down_at
+                # cancelled this delivery in the single-process run.
+                direction.carrier_drops += 1
+                wire._trace(trc.DROP_LINK_DOWN, frame)
+                continue
+            event = sim.at(t2, wire._deliver_cb, direction, frame)
+            direction.pending.append(event)
+            self._released.append(event)
+
+    # -- lockstep execution --------------------------------------------------
+
+    def run_until(self, target: float) -> None:
+        """Advance this shard to global time *target* (inclusive).
+
+        Every worker must call this with the identical target sequence
+        — the phase structure is part of the protocol.
+        """
+        sim = self.sim
+        endpoint = self.endpoint
+        if endpoint is None:
+            sim.run(until=target)
+            return
+        peers = endpoint.peers
+        outbox = self._outbox
+        done = False
+        while True:
+            # My horizon: the earliest instant anything I still hold
+            # could fire — next heap/wheel event, earliest staged
+            # remote frame, earliest frame in the batches this very
+            # message flushes. Including the outgoing batches is what
+            # lets peers trust min-of-horizons: after the exchange,
+            # every channel is empty, so every future event anywhere
+            # must chain from state some shard just counted.
+            if done:
+                horizon = _INF
+            else:
+                horizon = sim.next_event_time()
+                for entry in self._staged:
+                    if entry[0] < horizon:
+                        horizon = entry[0]
+                for batch in outbox.values():
+                    for item in batch:
+                        if item[3] < horizon:
+                            horizon = item[3]
+            for peer in peers:
+                endpoint.send(peer, (horizon, done, outbox[peer]))
+                outbox[peer] = []
+            global_min = horizon
+            all_done = done
+            for peer in peers:
+                peer_horizon, peer_done, frames = endpoint.recv(peer)
+                for (link_name, dir_key, t1, t2, data, uid, aux,
+                     src_seq) in frames:
+                    self._staged.append((t2, peer, src_seq, link_name,
+                                         dir_key, t1, data, uid, aux))
+                if peer_horizon < global_min:
+                    global_min = peer_horizon
+                if not peer_done:
+                    all_done = False
+            if all_done:
+                return
+            if done:
+                continue
+            # Every future firing on any shard happens at or above
+            # global_min, so every future input to me arrives at or
+            # above global_min + lookahead: that window is safe.
+            safe = global_min + self.lookahead
+            if safe > target:
+                # Complete knowledge below (and at) the phase end: run
+                # the closing slice inclusively, like Simulator.run.
+                # Everything this slice exports lands above safe, hence
+                # beyond the phase — it stays staged for the next one.
+                self._release(target, inclusive=True)
+                sim.run(until=target)
+                done = True
+            else:
+                self._release(safe, inclusive=False)
+                sim.run_below(safe)
+
+    def run_for(self, duration: float) -> None:
+        """Advance by *duration* seconds of simulated time."""
+        self.run_until(self.sim.now + duration)
+
+
+# -- worker orchestration ----------------------------------------------------
+
+def _process_main(worker: Callable[..., Any], shard_id: int,
+                  shard_count: int, endpoint: Endpoint, result_queue,
+                  args: tuple) -> None:
+    try:
+        result = worker(shard_id, shard_count, endpoint, *args)
+    except BaseException:
+        result_queue.put((shard_id, False, traceback.format_exc()))
+    else:
+        result_queue.put((shard_id, True, result))
+
+
+#: Seconds to wait for worker results/threads before declaring a hang.
+_WORKER_TIMEOUT = 600.0
+
+
+def run_sharded(worker: Callable[..., Any], shard_count: int,
+                mode: str = "auto", args: tuple = ()) -> List[Any]:
+    """Run ``worker(shard_id, shard_count, endpoint, *args)`` K ways.
+
+    Returns the per-shard results in shard order. ``shard_count == 1``
+    runs inline (no fabric, ``endpoint=None``) — the zero-overhead
+    degenerate case. *mode*:
+
+    * ``"process"`` — one OS process per shard (true parallelism);
+    * ``"thread"`` — one thread per shard (GIL-bound, but safe where
+      processes cannot fork, and byte-identical by construction);
+    * ``"auto"`` — ``thread`` inside a daemonic process (a sweep pool
+      worker cannot fork children), ``process`` otherwise.
+    """
+    if shard_count < 1:
+        raise ValueError(f"shard count must be >= 1: {shard_count}")
+    if mode not in ("auto", "process", "thread"):
+        raise ValueError(f"unknown shard mode {mode!r}")
+    if shard_count == 1:
+        return [worker(0, 1, None, *args)]
+    if mode == "auto":
+        mode = ("thread" if multiprocessing.current_process().daemon
+                else "process")
+
+    if mode == "thread":
+        endpoints = make_thread_fabric(shard_count)
+        results: List[Any] = [None] * shard_count
+        failures: List[str] = []
+
+        def main(shard_id: int) -> None:
+            try:
+                results[shard_id] = worker(shard_id, shard_count,
+                                           endpoints[shard_id], *args)
+            except BaseException:
+                failures.append(f"shard {shard_id}:\n"
+                                f"{traceback.format_exc()}")
+
+        threads = [threading.Thread(target=main, args=(shard_id,),
+                                    name=f"shard-{shard_id}", daemon=True)
+                   for shard_id in range(shard_count)]
+        for thread in threads:
+            thread.start()
+        # Poll rather than one long join: a crashed worker leaves its
+        # peers blocked on recv forever, and the first traceback is
+        # worth more than waiting out the stragglers.
+        deadline = _WORKER_TIMEOUT
+        while deadline > 0 and not failures \
+                and any(thread.is_alive() for thread in threads):
+            for thread in threads:
+                thread.join(timeout=0.05)
+            deadline -= 0.05 * shard_count
+        if failures:
+            raise ShardWorkerError("\n".join(failures))
+        if any(thread.is_alive() for thread in threads):
+            raise ShardWorkerError(
+                f"shard workers still running after {_WORKER_TIMEOUT}s")
+        return results
+
+    endpoints = make_process_fabric(shard_count)
+    result_queue: Any = multiprocessing.Queue()
+    procs = [multiprocessing.Process(
+        target=_process_main,
+        args=(worker, shard_id, shard_count, endpoints[shard_id],
+              result_queue, args),
+        name=f"shard-{shard_id}")
+        for shard_id in range(shard_count)]
+    for proc in procs:
+        proc.start()
+    results = [None] * shard_count
+    failures = []
+    received = 0
+    while received < shard_count and not failures:
+        try:
+            shard_id, ok, payload = result_queue.get(
+                timeout=_WORKER_TIMEOUT)
+        except queue_mod.Empty:
+            failures.append(f"no shard result within {_WORKER_TIMEOUT}s")
+            break
+        received += 1
+        if ok:
+            results[shard_id] = payload
+        else:
+            # Peers may be blocked on the dead shard's silence — do not
+            # wait for results that will never come.
+            failures.append(f"shard {shard_id}:\n{payload}")
+    if failures:
+        for proc in procs:
+            proc.terminate()
+    for proc in procs:
+        proc.join()
+    if failures:
+        raise ShardWorkerError("\n".join(failures))
+    return results
+
+
+class ShardedSimulator:
+    """Facade: one simulation, K shards, one call.
+
+    ``ShardedSimulator(shards=4).run(driver, *args)`` executes the
+    module-level *driver* — ``driver(shard_id, shard_count, endpoint,
+    *args)`` — across the shards and returns the per-shard results for
+    the caller to merge. Drivers build the full topology from shared
+    arguments, adopt it into a :class:`ShardRuntime`, run the phase
+    schedule through :meth:`ShardRuntime.run_until` and return plain
+    picklable data.
+    """
+
+    def __init__(self, shards: int, mode: str = "auto"):
+        if shards < 1:
+            raise ValueError(f"shard count must be >= 1: {shards}")
+        self.shards = shards
+        self.mode = mode
+
+    def run(self, worker: Callable[..., Any], *args: Any) -> List[Any]:
+        return run_sharded(worker, self.shards, mode=self.mode, args=args)
+
+    def __repr__(self) -> str:
+        return f"<ShardedSimulator shards={self.shards} mode={self.mode}>"

@@ -57,6 +57,11 @@ class Network:
         self._used_macs: set = set()
         self._used_ips: set = set()
         self._started = False
+        #: Called with each freshly registered Link. The sharded runtime
+        #: (:mod:`repro.netsim.shard`) installs this to catch links
+        #: created *after* partitioning — a host migrating to a bridge
+        #: on another shard makes its new access link a cut link.
+        self._link_hook: Optional[Callable[[Link], None]] = None
 
     # -- node creation -----------------------------------------------------
 
@@ -130,6 +135,8 @@ class Network:
                     latency=latency, bandwidth=bandwidth,
                     queue_capacity=queue_capacity, name=link_name)
         self.links[link_name] = wire
+        if self._link_hook is not None:
+            self._link_hook(wire)
         return wire
 
     def attach(self, host_name: str, bridge_name: str,
@@ -200,8 +207,9 @@ class Network:
         self.detach(host_name)
         wire = self.attach(host_name, bridge_name, latency=latency,
                            bandwidth=bandwidth)
-        if announce and self._started:
-            self.sim.call_soon(self.host(host_name).gratuitous_arp)
+        host = self.host(host_name)
+        if announce and self._started and not host.shard_ghost:
+            self.sim.call_soon(host.gratuitous_arp)
         return wire
 
     def crash_bridge(self, name: str) -> List[str]:
@@ -221,7 +229,8 @@ class Network:
                 affected.append(link_name)
         for link_name in affected:
             self.links[link_name].take_down()
-        bridge.stop()
+        if not bridge.shard_ghost:
+            bridge.stop()
         return affected
 
     def restart_bridge(self, name: str,
@@ -230,8 +239,9 @@ class Network:
         *links* (default: every still-registered link of the bridge),
         and start the bridge's control plane afresh."""
         bridge = self.bridge(name)
-        bridge.stop()  # idempotent; guards against a start without a crash
-        bridge.reset_state()
+        if not bridge.shard_ghost:
+            bridge.stop()  # idempotent; guards a start without a crash
+            bridge.reset_state()
         if links is None:
             links = [link_name for link_name, wire in self.links.items()
                      if wire.port_a.node is bridge
@@ -240,7 +250,8 @@ class Network:
             wire = self.links.get(link_name)
             if wire is not None:
                 wire.bring_up()
-        bridge.start()
+        if not bridge.shard_ghost:
+            bridge.start()
 
     def mark_static_roles(self) -> int:
         """Statically classify bridge ports from the wiring (NetFPGA-style).
@@ -273,10 +284,15 @@ class Network:
         if self._started:
             return
         self._started = True
+        # Shard ghosts (replica nodes owned by another shard) are wired
+        # for topology bookkeeping but never started: their control
+        # planes run on the owning shard and reach us over the wire.
         for bridge in self.bridges.values():
-            bridge.start()
+            if not bridge.shard_ghost:
+                bridge.start()
         for host in self.hosts.values():
-            host.start()
+            if not host.shard_ghost:
+                host.start()
 
     def run(self, duration: float) -> None:
         """Start (if needed) and advance the simulation by *duration*."""
@@ -296,8 +312,11 @@ class Network:
         Returns the number of announcements scheduled.
         """
         self.start()
+        # Ghosts are filtered *after* enumerate so every host keeps the
+        # announcement offset it would have in a single-process run.
         specs = [(start + index * spacing, host.gratuitous_arp)
-                 for index, (_, host) in enumerate(sorted(self.hosts.items()))]
+                 for index, (_, host) in enumerate(sorted(self.hosts.items()))
+                 if not host.shard_ghost]
         self.sim.schedule_bulk(specs)
         return len(specs)
 

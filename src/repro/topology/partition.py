@@ -1,0 +1,140 @@
+"""Edge-cut partitioning of a wired :class:`~repro.topology.builder.Network`.
+
+The sharded runtime (:mod:`repro.netsim.shard`) runs one simulation as
+K cooperating shards, one engine each; this module decides — purely and
+deterministically — which shard owns which node, which links cross the
+cut, and how much *lookahead* those cut links buy the conservative
+synchronization protocol.
+
+The partition is a BFS band decomposition: bridges are laid out in
+breadth-first order from the lexicographically first bridge (neighbors
+visited in name order, disconnected components appended in name order)
+and the sequence is split into K contiguous, near-equal chunks. On the
+row-major grids the size sweep uses this yields row bands — the minimum
+edge cut a social scientist would draw by hand — and on any topology it
+is a pure function of the wiring, so every shard (and every test)
+computes the identical plan without coordination.
+
+Hosts are co-located with their access bridge, so host links are never
+cut: only bridge-to-bridge fabric links cross shards, and every cut
+link's propagation latency must be positive — the *minimum* cut latency
+is the lookahead that lets shard A promise shard B "nothing from me
+before ``t + lookahead``".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.netsim.errors import TopologyError
+from repro.switching.base import Bridge
+from repro.topology.builder import Network
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The deterministic owner map for one (network, shard_count) pair."""
+
+    shard_count: int
+    #: Every node name (bridges and hosts) -> owning shard id.
+    node_shard: Dict[str, int]
+    #: Names of links whose endpoints live on different shards, in the
+    #: network's link-registration order.
+    cut_links: Tuple[str, ...]
+    #: Minimum propagation latency over the cut links — the null-message
+    #: lookahead. ``inf`` when nothing is cut (every window is then
+    #: unbounded and each shard free-runs to its target).
+    lookahead: float
+    #: shard id -> sorted tuple of shard ids it shares a cut link with.
+    neighbor_map: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+
+    def shard_of(self, name: str) -> int:
+        return self.node_shard[name]
+
+    def neighbors(self, shard_id: int) -> Tuple[int, ...]:
+        """Shards this shard exchanges frames with (symmetric)."""
+        return self.neighbor_map.get(shard_id, ())
+
+
+def _bridge_bfs_order(net: Network) -> List[str]:
+    """Bridges in deterministic BFS order (name-sorted tie-breaks)."""
+    adjacency: Dict[str, List[str]] = {name: [] for name in net.bridges}
+    for wire in net.links.values():
+        node_a, node_b = wire.port_a.node, wire.port_b.node
+        if isinstance(node_a, Bridge) and isinstance(node_b, Bridge):
+            adjacency[node_a.name].append(node_b.name)
+            adjacency[node_b.name].append(node_a.name)
+    order: List[str] = []
+    seen = set()
+    for root in sorted(adjacency):
+        if root in seen:
+            continue
+        seen.add(root)
+        queue = deque([root])
+        while queue:
+            name = queue.popleft()
+            order.append(name)
+            for peer in sorted(adjacency[name]):
+                if peer not in seen:
+                    seen.add(peer)
+                    queue.append(peer)
+    return order
+
+
+def partition_network(net: Network, shard_count: int) -> ShardPlan:
+    """Split *net* into *shard_count* contiguous BFS bands.
+
+    Deterministic: depends only on the wiring (node names, link
+    registration order, latencies) and *shard_count*. Raises
+    :class:`TopologyError` when the request cannot yield a sound plan —
+    more shards than bridges, or a cut link with zero latency (no
+    lookahead means the conservative protocol cannot advance).
+    """
+    if shard_count < 1:
+        raise TopologyError(f"shard count must be >= 1: {shard_count}")
+    order = _bridge_bfs_order(net)
+    if shard_count > len(order):
+        raise TopologyError(
+            f"cannot split {len(order)} bridges into {shard_count} shards")
+
+    node_shard: Dict[str, int] = {}
+    base, extra = divmod(len(order), shard_count)
+    start = 0
+    for shard_id in range(shard_count):
+        size = base + (1 if shard_id < extra else 0)
+        for name in order[start:start + size]:
+            node_shard[name] = shard_id
+        start += size
+
+    # Hosts ride with their access bridge, so host links are never cut.
+    for name, host in net.hosts.items():
+        peer = host.port.peer
+        if peer is None:
+            raise TopologyError(f"cannot shard detached host: {name}")
+        node_shard[name] = node_shard[peer.node.name]
+
+    cut: List[str] = []
+    lookahead = float("inf")
+    pairs: Dict[int, set] = {}
+    for link_name, wire in net.links.items():
+        shard_a = node_shard[wire.port_a.node.name]
+        shard_b = node_shard[wire.port_b.node.name]
+        if shard_a == shard_b:
+            continue
+        if wire.latency <= 0.0:
+            raise TopologyError(
+                f"cut link {link_name!r} has zero latency: the plan has "
+                f"no lookahead")
+        cut.append(link_name)
+        if wire.latency < lookahead:
+            lookahead = wire.latency
+        pairs.setdefault(shard_a, set()).add(shard_b)
+        pairs.setdefault(shard_b, set()).add(shard_a)
+
+    neighbor_map = {shard_id: tuple(sorted(peers))
+                    for shard_id, peers in pairs.items()}
+    return ShardPlan(shard_count=shard_count, node_shard=node_shard,
+                     cut_links=tuple(cut), lookahead=lookahead,
+                     neighbor_map=neighbor_map)
