@@ -38,12 +38,25 @@ Run with ``pytest benchmarks/bench_scale.py --benchmark-only``.
 ``benchmarks/BENCH_scale.json``.
 """
 
+import random
+
 from repro.netsim.engine import Simulator
-from repro.netsim.meminfo import peak_rss_bytes
+from repro.netsim.meminfo import MemorySampler, peak_rss_bytes
 from repro.topology import arppath, grid
+from repro.topology.library import populate_access_ports
+from repro.traffic.matrix import TrafficMatrix
 
 #: Bridge counts measured (perfect squares: n = side x side grids).
 SIZES = (25, 100, 225)
+
+#: The million-endpoint axis: total simulated endpoints parked behind
+#: the n=225 grid's access ports (flyweight populations), swept while
+#: the flow count stays fixed — the flyweight claim is that endpoint
+#: count costs addresses, not objects, events or wall time.
+POPULATION_N = 225
+POPULATION_ENDPOINTS = (1_000, 10_000, 100_000)
+#: Heavy-tailed flows run over the populations in every cell.
+POPULATION_FLOWS = 256
 
 #: Flood events/s recorded by BENCH_engine.json immediately before the
 #: PR-4 hot-path slimming pass, on this repo's reference container.
@@ -78,6 +91,33 @@ def scale_flood(n: int) -> Simulator:
     net.announce_hosts()
     net.run(1.0)
     return sim
+
+
+def population_flood(n: int = POPULATION_N,
+                     endpoints: int = POPULATION_ENDPOINTS[0],
+                     flows: int = POPULATION_FLOWS):
+    """Heavy-tailed traffic over *endpoints* flyweight endpoints.
+
+    Warm *n*-bridge grid, populations behind the corner-host access
+    ports, then ``POPULATION_FLOWS`` elephant/mice flows (Zipf sources,
+    generation-time draws from seed 0) in one ``schedule_bulk`` batch.
+    Returns ``(sim, net, sampler)`` with the sampler holding the
+    deterministic engine-memory peaks.
+    """
+    side = int(round(n ** 0.5))
+    sim = Simulator(seed=0, keep_trace_records=False)
+    net = grid(sim, arppath(), side, side, hosts_at_corners=True)
+    populate_access_ports(net, max(endpoints // len(net.hosts), 1))
+    sampler = MemorySampler(sim, interval=0.5)
+    sampler.start()
+    net.run(2.0)
+    matrix = TrafficMatrix(net)
+    matrix.elephant_mice(count=flows, rng=random.Random(0),
+                         endpoints=sorted(net.populations))
+    matrix.start(stagger=1e-4, bulk=True)
+    net.run(2.5)
+    sampler.stop()
+    return sim, net, sampler
 
 
 def test_scale_flood_smallest(benchmark):
@@ -136,6 +176,35 @@ def regenerate_baseline(path: str = None) -> dict:
             # Monotonic process high-water mark, sampled after this
             # workload (sizes run smallest-first, so growth between
             # entries is attributable to the larger fabric).
+            "peak_rss_mib": round(peak_rss_bytes() / (1024 * 1024), 1),
+        }
+    for endpoints in POPULATION_ENDPOINTS:
+        sim, net, sampler = population_flood(POPULATION_N, endpoints)
+        best = _measure(
+            lambda e=endpoints: population_flood(POPULATION_N, e),
+            rounds=2)
+        delivered = sim.tracer.frames_delivered
+        workloads[f"population_grid_n{POPULATION_N}_e{endpoints}"] = {
+            "description": f"{POPULATION_N}-bridge grid, {endpoints} "
+                           f"flyweight endpoints, {POPULATION_FLOWS} "
+                           "heavy-tailed (Zipf elephant/mice) flows",
+            "bridges": POPULATION_N,
+            "endpoints": net.endpoint_count(),
+            "flows": POPULATION_FLOWS,
+            "events": sim.events_processed,
+            "wall_seconds": round(best, 6),
+            "frames_delivered": delivered,
+            "deliveries_per_sec": round(delivered / best),
+            "events_per_payload": round(
+                sim.events_processed / max(delivered, 1), 3),
+            # Deterministic engine-memory ceiling (MemorySampler peaks
+            # — simulation state, not process RSS) and its per-endpoint
+            # quotient: the flyweight claim is that this stays decoupled
+            # from the endpoint count.
+            "peak_pending_events": sampler.peak_pending_events,
+            "peak_wheel_timers": sampler.peak_wheel_timers,
+            "peak_pending_per_endpoint": round(
+                sampler.peak_pending_events / endpoints, 6),
             "peak_rss_mib": round(peak_rss_bytes() / (1024 * 1024), 1),
         }
     largest = SIZES[-1]

@@ -163,6 +163,23 @@ def main(argv=None):
             _dig(base_scale, "BENCH_scale.json", "workloads", workload,
                  "events_per_payload"),
             fresh_scale["workloads"][workload]["events_per_payload"]))
+    # Population workloads: endpoint count must stay decoupled from the
+    # engine's cost — deliveries/s is wall-noisy (40% floor), while
+    # events/payload and the per-endpoint pending quotient are
+    # deterministic and get the tight ceiling.
+    for endpoints in bench_scale.POPULATION_ENDPOINTS:
+        workload = (f"population_grid_n{bench_scale.POPULATION_N}"
+                    f"_e{endpoints}")
+        checks.append((
+            f"population e={endpoints} deliveries/s",
+            _dig(base_scale, "BENCH_scale.json", "workloads", workload,
+                 "deliveries_per_sec"),
+            fresh_scale["workloads"][workload]["deliveries_per_sec"]))
+        inverted_checks.append((
+            f"population e={endpoints} events/payload",
+            _dig(base_scale, "BENCH_scale.json", "workloads", workload,
+                 "events_per_payload"),
+            fresh_scale["workloads"][workload]["events_per_payload"]))
     # Sharded engine: the K=1 degenerate path is wall-noisy like every
     # other throughput here (40% floor); the multi-shard figures are
     # machine-shaped (protocol overhead on one core, speedup on many),

@@ -59,6 +59,18 @@ def profile_flood(n: int = PROFILE_N):
     return pstats.Stats(profiler), sim.events_processed, wall
 
 
+def profile_population(n: int = PROFILE_N, endpoints: int = 10_000):
+    """Profile the heavy-tailed population workload (bench_scale)."""
+    bench_scale.population_flood(n, endpoints)  # warm-up
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    sim, _net, _sampler = bench_scale.population_flood(n, endpoints)
+    profiler.disable()
+    wall = time.perf_counter() - start
+    return pstats.Stats(profiler), sim.events_processed, wall
+
+
 def profile_flood_sharded(n: int = PROFILE_N, shards: int = 2):
     """Profile the sharded flood; returns (stats, events, wall).
 
@@ -123,9 +135,16 @@ def main(argv=None) -> int:
                         help="profile the sharded runtime with N worker "
                              "threads instead of the bare engine "
                              "(default 1 = direct Simulator)")
+    parser.add_argument("--endpoints", type=int, default=0,
+                        help="profile the population workload instead: "
+                             "this many flyweight endpoints behind the "
+                             "grid's access ports (0 = plain flood)")
     args = parser.parse_args(argv)
 
-    if args.shards > 1:
+    if args.endpoints > 0:
+        stats, events, wall = profile_population(args.n, args.endpoints)
+        label = f"population workload (endpoints={args.endpoints})"
+    elif args.shards > 1:
         stats, events, wall = profile_flood_sharded(args.n, args.shards)
         label = f"sharded flood (shards={args.shards}, thread mode)"
     else:

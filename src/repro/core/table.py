@@ -48,9 +48,13 @@ class EntryState(enum.Enum):
     LEARNT = "learnt"
 
 
-@dataclass
+@dataclass(slots=True)
 class PathEntry:
     """One address → port association.
+
+    Slotted: bridges hold one of these per active conversation
+    endpoint, so at population scale the per-entry ``__dict__`` would
+    triple the table's footprint for nothing.
 
     ``race_until`` marks the end of the discovery race that created the
     entry: while armed, discovery broadcasts from this address arriving
@@ -79,7 +83,7 @@ class PathEntry:
         return self.race_until > now
 
 
-@dataclass
+@dataclass(slots=True)
 class GuardEntry:
     """A broadcast first-arrival guard (paper §2.1.3); never a path."""
 

@@ -14,6 +14,7 @@ and (b) a sparse traffic matrix — showing ARP-Path state scales with
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -22,7 +23,7 @@ from repro.experiments import registry
 from repro.experiments.common import ProtocolSpec, build_and_warm, spec
 from repro.metrics.report import format_table
 from repro.spb.bridge import SpbBridge
-from repro.topology.library import ring
+from repro.topology.library import populate_access_ports, ring
 from repro.traffic.matrix import TrafficMatrix
 
 
@@ -33,6 +34,13 @@ class OccupancyRow:
     active_pairs: int
     peak_entries_per_bridge: int
     mean_entries_per_bridge: float
+    #: Simulated endpoints (hosts + population members); equals
+    #: ``hosts`` unless the run used ``endpoints_per_port`` > 1.
+    endpoints: int = 0
+
+    def __post_init__(self):
+        if not self.endpoints:
+            self.endpoints = self.hosts
 
 
 @dataclass
@@ -51,13 +59,14 @@ class OccupancyResult:
 
     def records(self) -> List[Dict[str, Any]]:
         return [{"protocol": r.protocol, "hosts": r.hosts,
+                 "endpoints": r.endpoints,
                  "talking_pairs": r.active_pairs,
                  "peak_state": r.peak_entries_per_bridge,
                  "mean_state": r.mean_entries_per_bridge}
                 for r in self.rows]
 
 
-def bridge_state_entries(bridge) -> int:
+def bridge_state_entries(bridge, now: Optional[float] = None) -> int:
     """Comparable dynamic-state size of any bridge family.
 
     ARP-Path: locked-table entries. SPB: LSDB entries plus advertised
@@ -65,9 +74,19 @@ def bridge_state_entries(bridge) -> int:
     everywhere). STP and the learning switch: FDB entries. Shared by
     this experiment and the ``scale`` scenario so the two report the
     same quantity.
+
+    Aging families count entries *live at now* (default: the bridge's
+    current simulation time), not raw store sizes: the stores reap
+    lazily, so at population scale a raw ``len`` would credit a bridge
+    with thousands of endpoints whose locks expired long ago — and the
+    ARP-Path vs FDB comparison would hinge on reaping order instead of
+    on the protocols' retention policies.
     """
+    if now is None:
+        now = bridge.sim.now
     if isinstance(bridge, ArpPathBridge):
-        return len(bridge.table)
+        occ = bridge.table.occupancy(now)
+        return occ["locked"] + occ["learnt"]
     if isinstance(bridge, SpbBridge):
         total = 0
         for info in bridge.lsdb_summary().values():
@@ -75,7 +94,7 @@ def bridge_state_entries(bridge) -> int:
         return total
     fdb = getattr(bridge, "fdb", None)
     if fdb is not None:
-        return len(fdb)
+        return fdb.live_count(now)
     return 0
 
 
@@ -85,25 +104,36 @@ _bridge_state = bridge_state_entries
 
 def run_case(protocol: ProtocolSpec, hosts_per_bridge: int,
              pairs: Optional[int], n_bridges: int = 4,
-             seed: int = 0) -> OccupancyRow:
+             seed: int = 0, endpoints_per_port: int = 1) -> OccupancyRow:
     """One protocol/host-count/traffic-density cell.
 
     *pairs* = None means all-pairs; otherwise that many random ordered
-    pairs talk.
+    pairs talk. *endpoints_per_port* > 1 puts a flyweight population
+    behind every access port and adds a heavy-tailed flow set over the
+    population endpoints, so the occupancy contrast is measured at
+    population scale (all draws from a ``seed``-seeded RNG at
+    generation time — the rows stay a pure function of the cell).
     """
 
     def topo(sim, factory):
-        return ring(sim, factory, n_bridges,
-                    hosts_per_bridge=hosts_per_bridge)
+        net = ring(sim, factory, n_bridges,
+                   hosts_per_bridge=hosts_per_bridge)
+        populate_access_ports(net, endpoints_per_port)
+        return net
 
     net = build_and_warm(topo, protocol, seed=seed,
                          keep_trace_records=False)
     matrix = TrafficMatrix(net)
     if pairs is None:
-        flows = matrix.all_pairs(packets=3, interval=2e-3, size=200)
+        flows = matrix.all_pairs(hosts=sorted(net.hosts), packets=3,
+                                 interval=2e-3, size=200)
     else:
-        flows = matrix.random_pairs(pairs, packets=3, interval=2e-3,
-                                    size=200)
+        flows = matrix.random_pairs(pairs, hosts=sorted(net.hosts),
+                                    packets=3, interval=2e-3, size=200)
+    if endpoints_per_port > 1:
+        flows += matrix.elephant_mice(
+            count=pairs if pairs is not None else len(net.hosts),
+            rng=random.Random(seed), endpoints=sorted(net.populations))
     matrix.start(stagger=1e-3)
     net.run(1.0)
 
@@ -112,32 +142,38 @@ def run_case(protocol: ProtocolSpec, hosts_per_bridge: int,
         protocol=protocol.name, hosts=len(net.hosts),
         active_pairs=len(flows),
         peak_entries_per_bridge=max(sizes),
-        mean_entries_per_bridge=sum(sizes) / len(sizes))
+        mean_entries_per_bridge=sum(sizes) / len(sizes),
+        endpoints=net.endpoint_count())
 
 
 def run(host_counts: List[int] = [1, 2, 4], sparse_pairs: int = 4,
-        seed: int = 0) -> OccupancyResult:
+        endpoints_per_port: int = 1, seed: int = 0) -> OccupancyResult:
     """Sweep host density for ARP-Path and SPB, dense and sparse."""
     result = OccupancyResult()
     for protocol_name in ("arppath", "spb"):
         for hosts_per_bridge in host_counts:
             protocol = spec(protocol_name)
-            result.rows.append(run_case(protocol, hosts_per_bridge,
-                                        pairs=None, seed=seed))
+            result.rows.append(run_case(
+                protocol, hosts_per_bridge, pairs=None, seed=seed,
+                endpoints_per_port=endpoints_per_port))
             total_hosts = hosts_per_bridge * 4
             if total_hosts * (total_hosts - 1) > sparse_pairs:
                 sparse = run_case(protocol, hosts_per_bridge,
-                                  pairs=sparse_pairs, seed=seed)
+                                  pairs=sparse_pairs, seed=seed,
+                                  endpoints_per_port=endpoints_per_port)
                 sparse.protocol += " (sparse)"
                 result.rows.append(sparse)
     return result
 
 
 def _occupancy_scenario(seeds: List[int], host_counts: List[int],
-                        sparse_pairs: int) -> OccupancyResult:
+                        sparse_pairs: int,
+                        endpoints_per_port: int) -> OccupancyResult:
     return registry.seeded(
         lambda seed: run(host_counts=host_counts,
-                         sparse_pairs=sparse_pairs, seed=seed))(seeds)
+                         sparse_pairs=sparse_pairs,
+                         endpoints_per_port=endpoints_per_port,
+                         seed=seed))(seeds)
 
 
 registry.register(registry.Scenario(
@@ -148,6 +184,10 @@ registry.register(registry.Scenario(
                        help="hosts per bridge, one case per value"),
         registry.Param("sparse_pairs", int, 4,
                        help="talking pairs in the sparse traffic case"),
+        registry.Param("endpoints_per_port", int, 1,
+                       help="simulated endpoints behind each access "
+                            "port (1 = plain hosts; >1 adds flyweight "
+                            "populations and heavy-tailed flows)"),
         registry.seeds_param(),
     ),
     run=_occupancy_scenario,

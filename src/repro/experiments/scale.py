@@ -31,6 +31,7 @@ building a 200-bridge cell stays cheap.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -47,6 +48,7 @@ from repro.netsim.shard import ShardRuntime, ShardedSimulator, \
     derive_shard_seed
 from repro.topology.library import SCALE_TOPOLOGIES, scale_topology
 from repro.topology.partition import partition_network
+from repro.traffic.matrix import TrafficMatrix
 
 #: Wirings without redundant paths — the only ones a plain learning
 #: switch survives (mirrors the churn scenario's gate).
@@ -58,6 +60,11 @@ PROBE_SPACING = 10e-3
 PAIR_STAGGER = 1e-3
 #: Drain budget after the last scheduled probe (seconds).
 DRAIN = 1.0
+#: Stagger between population flow starts (seconds).
+POP_STAGGER = 1e-4
+#: Simulated window for the population flow phase: covers the longest
+#: elephant (40 packets x 1 ms) plus one full ARP retry interval.
+POP_WINDOW = 2.0
 
 
 @dataclass
@@ -82,6 +89,13 @@ class ScaleRow:
     probes_sent: int
     probes_answered: int
     events_processed: int
+    #: Simulated endpoints (hosts + population members); equals
+    #: ``hosts`` unless the cell ran with ``endpoints_per_port`` > 1.
+    endpoints: int = 0
+
+    def __post_init__(self):
+        if not self.endpoints:
+            self.endpoints = self.hosts
 
     @property
     def frames_per_payload(self) -> float:
@@ -134,6 +148,7 @@ class ScaleResult:
                 "bridges": row.bridges,
                 "links": row.links,
                 "hosts": row.hosts,
+                "endpoints": row.endpoints,
                 "convergence_ms": row.convergence_s * 1e3
                 if row.convergence_s is not None else None,
                 "frames_per_payload": row.frames_per_payload,
@@ -159,11 +174,21 @@ def _natural(names) -> List[str]:
 
 
 def run_case(protocol: ProtocolSpec, kind: str, size: int, pairs: int = 3,
-             probes: int = 3, seed: int = 0) -> ScaleRow:
-    """One cell: build, warm, probe, measure."""
+             probes: int = 3, seed: int = 0,
+             endpoints_per_port: int = 1) -> ScaleRow:
+    """One cell: build, warm, probe, measure.
+
+    *endpoints_per_port* > 1 parks a flyweight population behind every
+    access port and runs a heavy-tailed elephant/mice flow phase over
+    the population endpoints after the probe workload — the
+    million-endpoint configuration. All flow draws happen at generation
+    time from a ``seed``-seeded RNG, so the row stays a pure function
+    of the cell at any job or shard count.
+    """
     sim = Simulator(seed=seed, keep_trace_records=False)
     net, src, dst = scale_topology(sim, protocol.factory, kind, size,
-                                   seed=seed)
+                                   seed=seed,
+                                   endpoints_per_port=endpoints_per_port)
     sampler = MemorySampler(sim, interval=0.5)
     sampler.start()
     net.run(protocol.warmup)
@@ -198,12 +223,24 @@ def run_case(protocol: ProtocolSpec, kind: str, size: int, pairs: int = 3,
                           round_index))
     sim.schedule_bulk(specs)
     net.run(count * PAIR_STAGGER + probes * PROBE_SPACING + DRAIN)
+
+    # Population phase: heavy-tailed flows over the flyweight
+    # endpoints, scheduled in one bulk batch. Empty at
+    # endpoints_per_port=1, so legacy cells are untouched.
+    if net.populations:
+        matrix = TrafficMatrix(net)
+        matrix.elephant_mice(count=max(pairs * probes, 1),
+                             rng=random.Random(seed),
+                             endpoints=sorted(net.populations))
+        matrix.start(stagger=POP_STAGGER, bulk=True)
+        net.run(POP_WINDOW)
     sampler.stop()
 
     sent = sim.tracer.by_ethertype[trc.SENT]
     control = (sent.get(ETHERTYPE_ARPPATH, 0) + sent.get(ETHERTYPE_BPDU, 0)
                + sent.get(ETHERTYPE_LSP, 0))
-    payloads = sum(net.host(name).counters.ip_received for name in hosts)
+    payloads = sum(net.host(name).counters.ip_received for name in hosts) \
+        + sum(pop.counters.ip_received for pop in net.populations.values())
     answered = sum(net.host(name).counters.echo_replies_received
                    for name in hosts) - replies_before
     states = [bridge_state_entries(bridge)
@@ -219,13 +256,14 @@ def run_case(protocol: ProtocolSpec, kind: str, size: int, pairs: int = 3,
         peak_pending_events=sampler.peak_pending_events,
         peak_wheel_timers=sampler.peak_wheel_timers,
         probes_sent=len(specs) + 1, probes_answered=answered,
-        events_processed=sim.events_processed)
+        events_processed=sim.events_processed,
+        endpoints=net.endpoint_count())
 
 
 def _scale_shard_worker(shard_id: int, shard_count: int, endpoint,
                         protocol_name: str, stp_scale: float, kind: str,
-                        size: int, pairs: int, probes: int,
-                        seed: int) -> Dict[str, Any]:
+                        size: int, pairs: int, probes: int, seed: int,
+                        endpoints_per_port: int = 1) -> Dict[str, Any]:
     """One shard's portion of :func:`run_case` (see run_case_sharded).
 
     The phase schedule — warmup, convergence probe, bulk probes — and
@@ -241,7 +279,8 @@ def _scale_shard_worker(shard_id: int, shard_count: int, endpoint,
     # Builders take the *base* seed: the wiring must be identical in
     # every worker; only the engine stream is per-shard.
     net, src, dst = scale_topology(sim, protocol.factory, kind, size,
-                                   seed=seed)
+                                   seed=seed,
+                                   endpoints_per_port=endpoints_per_port)
     runtime = ShardRuntime(sim, shard_id, endpoint)
     runtime.adopt(net, partition_network(net, shard_count))
     # record_series: whole-run peaks are maxima of *per-instant sums*
@@ -283,13 +322,27 @@ def _scale_shard_worker(shard_id: int, shard_count: int, endpoint,
                               round_index))
     sim.schedule_bulk(specs)
     runtime.run_for(count * PAIR_STAGGER + probes * PROBE_SPACING + DRAIN)
+
+    # Population phase — the flow list is drawn identically on every
+    # shard (generation-time draws from the base seed); ownership
+    # gates which engine binds each sink and schedules each source.
+    if net.populations:
+        matrix = TrafficMatrix(net)
+        matrix.elephant_mice(count=max(pairs * probes, 1),
+                             rng=random.Random(seed),
+                             endpoints=sorted(net.populations))
+        matrix.start(stagger=POP_STAGGER, owner=runtime.owns, bulk=True)
+        runtime.run_for(POP_WINDOW)
     sampler.stop()
 
+    owned_pops = [pop for name, pop in net.populations.items()
+                  if runtime.owns(name)]
     return {
         "frames_sent": sim.tracer.counts[trc.SENT],
         "sent": dict(sim.tracer.by_ethertype[trc.SENT]),
         "payloads": sum(net.host(name).counters.ip_received
-                        for name in owned),
+                        for name in owned)
+        + sum(pop.counters.ip_received for pop in owned_pops),
         "answered": sum(net.host(name).counters.echo_replies_received
                         for name in owned) - replies_before,
         "states": [bridge_state_entries(bridge)
@@ -300,6 +353,7 @@ def _scale_shard_worker(shard_id: int, shard_count: int, endpoint,
         "bridges": len(net.bridges),
         "links": len(net.links),
         "hosts": len(net.hosts),
+        "endpoints": net.endpoint_count(),
         "probes_sent": full_specs + 1,
         "events": sim.events_processed,
         "samples": sampler.samples,
@@ -358,13 +412,14 @@ def _merge_scale_shards(protocol: ProtocolSpec, kind: str, size: int,
         peak_pending_events=peak_pending, peak_wheel_timers=peak_wheel,
         probes_sent=first["probes_sent"],
         probes_answered=sum(result["answered"] for result in shards),
-        events_processed=events)
+        events_processed=events, endpoints=first["endpoints"])
 
 
 def run_case_sharded(protocol: ProtocolSpec, kind: str, size: int,
                      pairs: int = 3, probes: int = 3, seed: int = 0,
                      shards: int = 2, stp_scale: float = 0.1,
-                     mode: str = "auto") -> ScaleRow:
+                     mode: str = "auto",
+                     endpoints_per_port: int = 1) -> ScaleRow:
     """One cell of :func:`run_case`, executed across *shards* engines.
 
     Produces the byte-identical row :func:`run_case` would — the
@@ -374,17 +429,17 @@ def run_case_sharded(protocol: ProtocolSpec, kind: str, size: int,
     """
     if shards == 1:
         return run_case(protocol, kind, size, pairs=pairs, probes=probes,
-                        seed=seed)
+                        seed=seed, endpoints_per_port=endpoints_per_port)
     results = ShardedSimulator(shards, mode=mode).run(
         _scale_shard_worker, protocol.key or protocol.name, stp_scale,
-        kind, size, pairs, probes, seed)
+        kind, size, pairs, probes, seed, endpoints_per_port)
     return _merge_scale_shards(protocol, kind, size, results)
 
 
 def run(kind: str = "grid", sizes: List[int] = [16, 36, 64],
         protocols: Optional[List[str]] = None, pairs: int = 3,
         probes: int = 3, stp_scale: float = 0.1, shards: int = 1,
-        seed: int = 0) -> ScaleResult:
+        endpoints_per_port: int = 1, seed: int = 0) -> ScaleResult:
     """The size sweep across bridge families.
 
     A plain learning switch storms on any wiring with redundant paths,
@@ -404,22 +459,27 @@ def run(kind: str = "grid", sizes: List[int] = [16, 36, 64],
         for size in sizes:
             if shards == 1:
                 row = run_case(protocol, kind, size, pairs=pairs,
-                               probes=probes, seed=seed)
+                               probes=probes, seed=seed,
+                               endpoints_per_port=endpoints_per_port)
             else:
-                row = run_case_sharded(protocol, kind, size, pairs=pairs,
-                                       probes=probes, seed=seed,
-                                       shards=shards, stp_scale=stp_scale)
+                row = run_case_sharded(
+                    protocol, kind, size, pairs=pairs, probes=probes,
+                    seed=seed, shards=shards, stp_scale=stp_scale,
+                    endpoints_per_port=endpoints_per_port)
             result.rows.append(row)
     return result
 
 
 def _scale_scenario(seeds: List[int], kind: str, sizes: List[int],
                     protocols: List[str], pairs: int, probes: int,
-                    stp_scale: float, shards: int) -> ScaleResult:
+                    stp_scale: float, shards: int,
+                    endpoints_per_port: int) -> ScaleResult:
     return registry.seeded(
         lambda seed: run(kind=kind, sizes=sizes, protocols=protocols,
                          pairs=pairs, probes=probes, stp_scale=stp_scale,
-                         shards=shards, seed=seed))(seeds)
+                         shards=shards,
+                         endpoints_per_port=endpoints_per_port,
+                         seed=seed))(seeds)
 
 
 registry.register(registry.Scenario(
@@ -443,6 +503,10 @@ registry.register(registry.Scenario(
         registry.Param("shards", int, 1,
                        help="engines per cell (conservative PDES; rows "
                             "are byte-identical at any shard count)"),
+        registry.Param("endpoints_per_port", int, 1,
+                       help="simulated endpoints behind each access "
+                            "port (1 = plain hosts; >1 adds flyweight "
+                            "populations and heavy-tailed flows)"),
         registry.seeds_param(),
     ),
     run=_scale_scenario,

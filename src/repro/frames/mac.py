@@ -118,7 +118,11 @@ class MAC:
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(self._value)
+        # The raw 48-bit value IS the hash (CPython hashes an int under
+        # 2**61-1 to itself): table lookups key on MACs at every hop of
+        # every flooded copy, and hash() on the cached slot is pure
+        # overhead at population scale.
+        return self._value
 
     def __int__(self) -> int:
         return self._value

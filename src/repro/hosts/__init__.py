@@ -1,11 +1,13 @@
-"""End-host models: ARP cache, IPv4/UDP/ICMP stack."""
+"""End-host models: ARP cache, IPv4/UDP/ICMP stack, flyweight populations."""
 
 from repro.hosts.arpcache import (ArpCache, ArpEntry, DEFAULT_ARP_TIMEOUT,
                                   DEFAULT_MAX_RETRIES,
                                   DEFAULT_RETRY_INTERVAL, PendingResolution)
 from repro.hosts.host import Host, HostCounters
+from repro.hosts.population import Endpoint, HostPopulation
 
 __all__ = [
     "ArpCache", "ArpEntry", "DEFAULT_ARP_TIMEOUT", "DEFAULT_MAX_RETRIES",
     "DEFAULT_RETRY_INTERVAL", "PendingResolution", "Host", "HostCounters",
+    "Endpoint", "HostPopulation",
 ]

@@ -19,13 +19,13 @@ DEFAULT_RETRY_INTERVAL = 1.0
 DEFAULT_MAX_RETRIES = 3
 
 
-@dataclass
+@dataclass(slots=True)
 class ArpEntry:
     mac: MAC
     expires: float
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingResolution:
     """Packets parked while an IP address resolves."""
 

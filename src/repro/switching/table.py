@@ -26,9 +26,10 @@ if TYPE_CHECKING:
 DEFAULT_AGING_TIME = 300.0
 
 
-@dataclass
+@dataclass(slots=True)
 class FdbEntry:
-    """One filtering-database entry."""
+    """One filtering-database entry (slotted: one per learnt MAC, so
+    population-scale tables skip the per-entry ``__dict__``)."""
 
     port: Port
     expires: float
@@ -95,6 +96,11 @@ class ForwardingTable:
     def macs_on(self, port: Port) -> List[MAC]:
         return [mac for mac, entry in self._entries.items()
                 if entry.port is port]
+
+    def live_count(self, now: float) -> int:
+        """Unexpired entries at *now* — exact occupancy, independent of
+        when the wheel last reaped (``len`` counts unreaped entries)."""
+        return self._entries.live_count(now)
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -14,6 +14,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 from repro.frames.ipv4 import IPv4Address, ip_for_host
 from repro.frames.mac import MAC, mac_for_bridge, mac_for_host
 from repro.hosts.host import Host
+from repro.hosts.population import HostPopulation
 from repro.netsim.engine import Simulator
 from repro.netsim.errors import AddressError, TopologyError
 from repro.netsim.link import (DEFAULT_BANDWIDTH, DEFAULT_LATENCY,
@@ -51,11 +52,17 @@ class Network:
         self.bridge_factory = bridge_factory
         self.bridges: Dict[str, Bridge] = {}
         self.hosts: Dict[str, Host] = {}
+        self.populations: Dict[str, HostPopulation] = {}
         self.links: Dict[str, Link] = {}
         self._bridge_index = 0
         self._host_index = 0
         self._used_macs: set = set()
         self._used_ips: set = set()
+        #: (lo, hi) inclusive integer ranges claimed by populations —
+        #: a million-endpoint block is two ints, not a million set
+        #: entries.
+        self._mac_ranges: List[Tuple[int, int]] = []
+        self._ip_ranges: List[Tuple[int, int]] = []
         self._started = False
         #: Called with each freshly registered Link. The sharded runtime
         #: (:mod:`repro.netsim.shard`) installs this to catch links
@@ -88,7 +95,8 @@ class Network:
     def add_host(self, name: str, ip: Optional[IPv4Address] = None,
                  mac: Optional[MAC] = None, **host_kwargs) -> Host:
         """Create an end host with deterministic addressing."""
-        if name in self.bridges or name in self.hosts:
+        if name in self.bridges or name in self.hosts \
+                or name in self.populations:
             raise TopologyError(f"duplicate node name: {name}")
         if mac is None:
             mac = mac_for_host(self._host_index)
@@ -96,23 +104,62 @@ class Network:
             ip = ip_for_host(self._host_index)
         self._host_index += 1
         self._claim_mac(mac)
-        if ip in self._used_ips:
-            raise AddressError(f"duplicate IP address: {ip}")
-        self._used_ips.add(ip)
+        self._claim_ip(ip)
         host = Host(self.sim, name, mac=mac, ip=ip, **host_kwargs)
         self.hosts[name] = host
         return host
 
+    def add_population(self, name: str, size: int,
+                       **population_kwargs) -> HostPopulation:
+        """Create a flyweight population of *size* endpoints.
+
+        The population claims a contiguous block of *size* host
+        indices, so its endpoints get the same deterministic MAC/IP
+        addressing individual hosts would — and a later ``add_host``
+        can never collide with them.
+        """
+        if name in self.bridges or name in self.hosts \
+                or name in self.populations:
+            raise TopologyError(f"duplicate node name: {name}")
+        base_index = self._host_index
+        pop = HostPopulation(self.sim, name, size, base_index,
+                             **population_kwargs)
+        mac_lo = mac_for_host(base_index).value
+        mac_hi = mac_for_host(base_index + size - 1).value
+        ip_lo = int(ip_for_host(base_index))
+        ip_hi = ip_lo + size - 1
+        for mac in self._used_macs:
+            if mac_lo <= int(mac) <= mac_hi:
+                raise AddressError(f"duplicate MAC address: {mac}")
+        for ip in self._used_ips:
+            if ip_lo <= int(ip) <= ip_hi:
+                raise AddressError(f"duplicate IP address: {ip}")
+        self._host_index += size
+        self._mac_ranges.append((mac_lo, mac_hi))
+        self._ip_ranges.append((ip_lo, ip_hi))
+        self.populations[name] = pop
+        return pop
+
     def _claim_mac(self, mac: MAC) -> None:
-        if mac in self._used_macs:
+        value = int(mac)
+        if mac in self._used_macs \
+                or any(lo <= value <= hi for lo, hi in self._mac_ranges):
             raise AddressError(f"duplicate MAC address: {mac}")
         self._used_macs.add(mac)
+
+    def _claim_ip(self, ip: IPv4Address) -> None:
+        value = int(ip)
+        if ip in self._used_ips \
+                or any(lo <= value <= hi for lo, hi in self._ip_ranges):
+            raise AddressError(f"duplicate IP address: {ip}")
+        self._used_ips.add(ip)
 
     # -- wiring ------------------------------------------------------------
 
     def node(self, name: str) -> Node:
-        """Look up a bridge or host by name."""
-        found = self.bridges.get(name) or self.hosts.get(name)
+        """Look up a bridge, host or population by name."""
+        found = self.bridges.get(name) or self.hosts.get(name) \
+            or self.populations.get(name)
         if found is None:
             raise TopologyError(f"unknown node: {name}")
         return found
@@ -142,9 +189,9 @@ class Network:
     def attach(self, host_name: str, bridge_name: str,
                latency: float = DEFAULT_LATENCY,
                bandwidth: Optional[float] = DEFAULT_BANDWIDTH) -> Link:
-        """Wire a host to a bridge (host links default to the same
-        parameters as fabric links)."""
-        if host_name not in self.hosts:
+        """Wire a host (or population) to a bridge (host links default
+        to the same parameters as fabric links)."""
+        if host_name not in self.hosts and host_name not in self.populations:
             raise TopologyError(f"unknown host: {host_name}")
         if bridge_name not in self.bridges:
             raise TopologyError(f"unknown bridge: {bridge_name}")
@@ -293,6 +340,9 @@ class Network:
         for host in self.hosts.values():
             if not host.shard_ghost:
                 host.start()
+        for pop in self.populations.values():
+            if not pop.shard_ghost:
+                pop.start()
 
     def run(self, duration: float) -> None:
         """Start (if needed) and advance the simulation by *duration*."""
@@ -332,6 +382,30 @@ class Network:
             raise TopologyError(f"unknown bridge: {name}")
         return self.bridges[name]
 
+    def population(self, name: str) -> HostPopulation:
+        if name not in self.populations:
+            raise TopologyError(f"unknown population: {name}")
+        return self.populations[name]
+
+    def endpoint(self, name: str):
+        """A traffic endpoint by name: a :class:`Host`, or a population
+        endpoint handle for names like ``"H0P#42"``."""
+        host = self.hosts.get(name)
+        if host is not None:
+            return host
+        pop_name, sep, index = name.rpartition("#")
+        if sep and pop_name in self.populations and index.isdigit():
+            try:
+                return self.populations[pop_name].endpoint(int(index))
+            except IndexError as exc:
+                raise TopologyError(str(exc)) from exc
+        raise TopologyError(f"unknown endpoint: {name}")
+
+    def endpoint_count(self) -> int:
+        """Simulated endpoints: hosts plus population members."""
+        return len(self.hosts) + sum(pop.size
+                                     for pop in self.populations.values())
+
     def bridge_for_host(self, host_name: str) -> Bridge:
         """The bridge the named host is attached to."""
         host = self.host(host_name)
@@ -355,8 +429,10 @@ class Network:
                 for wire in self.links.values()]
 
     def __repr__(self) -> str:
+        extra = (f" populations={len(self.populations)}"
+                 if self.populations else "")
         return (f"<Network bridges={len(self.bridges)} "
-                f"hosts={len(self.hosts)} links={len(self.links)}>")
+                f"hosts={len(self.hosts)}{extra} links={len(self.links)}>")
 
 
 def graph_of(net: Network, fabric_only: bool = False,

@@ -279,15 +279,41 @@ def churn_topology(sim: Simulator, factory: BridgeFactory, name: str,
 SCALE_TOPOLOGIES = ("grid", "fat_tree", "random", "line")
 
 
+def populate_access_ports(net: Network, endpoints_per_port: int,
+                          latency: float = HOST_LINK) -> None:
+    """Scale a wiring's endpoint count without changing its shape.
+
+    For every existing host ``H`` (sorted, so the address allocation is
+    deterministic) a flyweight population named ``f"{H}P"`` of
+    ``endpoints_per_port - 1`` endpoints joins the same access bridge —
+    the original host keeps carrying the probe traffic, the population
+    carries the bulk. ``endpoints_per_port <= 1`` is a no-op, keeping
+    every existing wiring byte-identical to before this axis existed.
+    """
+    if endpoints_per_port <= 1:
+        return
+    for host_name in sorted(net.hosts):
+        peer = net.hosts[host_name].port.peer
+        if peer is None:
+            raise TopologyError(
+                f"cannot populate detached host: {host_name}")
+        net.add_population(f"{host_name}P", endpoints_per_port - 1)
+        net.attach(f"{host_name}P", peer.node.name, latency=latency)
+
+
 def scale_topology(sim: Simulator, factory: BridgeFactory, kind: str,
-                   n: int, seed: int = 0) -> Tuple[Network, str, str]:
+                   n: int, seed: int = 0,
+                   endpoints_per_port: int = 1) -> Tuple[Network, str, str]:
     """Build the named wiring sized to roughly *n* bridges.
 
     Returns ``(net, src_host, dst_host)`` with the host pair at maximum
     separation, mirroring :func:`churn_topology`. *n* is a target: each
     family rounds to its nearest feasible shape (grids to rows x cols,
     fat trees to pods + pods//2 switches), so read the actual bridge
-    count off the returned network. Deterministic in (kind, n, seed).
+    count off the returned network. *endpoints_per_port* > 1 multiplies
+    the endpoint count behind every access port with flyweight
+    populations (:func:`populate_access_ports`) without adding bridges
+    or links. Deterministic in (kind, n, seed, endpoints_per_port).
     """
     if n < 4:
         raise TopologyError(f"scale topologies start at 4 bridges, got {n}")
@@ -296,20 +322,23 @@ def scale_topology(sim: Simulator, factory: BridgeFactory, kind: str,
         cols = max(2, (n + rows - 1) // rows)
         net = grid(sim, factory, rows, cols, hosts_at_corners=True,
                    latency_jitter=2e-6, seed=seed)
-        return net, "H0", "H3"  # opposite corners (0,0) and (rows-1,cols-1)
-    if kind == "fat_tree":
+        pair = ("H0", "H3")  # opposite corners (0,0) and (rows-1,cols-1)
+    elif kind == "fat_tree":
         # pods leaves + pods//2 spines ~= n bridges, one host per leaf.
         pods = max(2, int(round(n * 2 / 3)))
         net = fat_tree(sim, factory, pods=pods, hosts_per_edge=1, seed=seed)
-        return net, "H0", f"H{pods - 1}"
-    if kind == "random":
+        pair = ("H0", f"H{pods - 1}")
+    elif kind == "random":
         net = random_graph(sim, factory, n=n, seed=seed, hosts=4)
-        return net, "H0", "H1"
-    if kind == "line":
+        pair = ("H0", "H1")
+    elif kind == "line":
         net = line(sim, factory, n)
-        return net, "H0", "H1"
-    raise TopologyError(f"unknown scale topology {kind!r} "
-                        f"(have: {', '.join(SCALE_TOPOLOGIES)})")
+        pair = ("H0", "H1")
+    else:
+        raise TopologyError(f"unknown scale topology {kind!r} "
+                            f"(have: {', '.join(SCALE_TOPOLOGIES)})")
+    populate_access_ports(net, endpoints_per_port)
+    return net, pair[0], pair[1]
 
 
 def pair(sim: Simulator, factory: BridgeFactory,

@@ -51,7 +51,16 @@ class ShardPlan:
     neighbor_map: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
 
     def shard_of(self, name: str) -> int:
-        return self.node_shard[name]
+        shard = self.node_shard.get(name)
+        if shard is not None:
+            return shard
+        # Population endpoints ("H0P#42") live wherever their
+        # population does — resolved here so ownership checks work on
+        # traffic-matrix endpoint names without a million map entries.
+        pop, sep, _ = name.rpartition("#")
+        if sep and pop in self.node_shard:
+            return self.node_shard[pop]
+        raise KeyError(name)
 
     def neighbors(self, shard_id: int) -> Tuple[int, ...]:
         """Shards this shard exchanges frames with (symmetric)."""
@@ -108,12 +117,15 @@ def partition_network(net: Network, shard_count: int) -> ShardPlan:
             node_shard[name] = shard_id
         start += size
 
-    # Hosts ride with their access bridge, so host links are never cut.
-    for name, host in net.hosts.items():
-        peer = host.port.peer
-        if peer is None:
-            raise TopologyError(f"cannot shard detached host: {name}")
-        node_shard[name] = node_shard[peer.node.name]
+    # Hosts and populations ride with their access bridge, so access
+    # links are never cut (a population's endpoints all live — and stay
+    # — on the shard that owns its bridge).
+    for registry in (net.hosts, net.populations):
+        for name, node in registry.items():
+            peer = node.port.peer
+            if peer is None:
+                raise TopologyError(f"cannot shard detached host: {name}")
+            node_shard[name] = node_shard[peer.node.name]
 
     cut: List[str] = []
     lookahead = float("inf")

@@ -144,6 +144,37 @@ class TestScaleScenario:
         assert one == two
 
 
+class TestPopulationScale:
+    """endpoints_per_port > 1: flyweight populations in the size sweep."""
+
+    def test_population_cell_deterministic(self):
+        from repro.experiments.common import spec
+        one = run_case(spec("arppath"), "grid", 9, pairs=2, probes=2,
+                       seed=1, endpoints_per_port=10)
+        two = run_case(spec("arppath"), "grid", 9, pairs=2, probes=2,
+                       seed=1, endpoints_per_port=10)
+        assert one == two
+        assert one.hosts == 4
+        assert one.endpoints == 40
+        assert one.payloads_delivered > 0
+
+    def test_population_cell_shard_parity(self):
+        from repro.experiments.common import spec
+        from repro.experiments.scale import run_case_sharded
+        single = run_case(spec("arppath"), "grid", 9, pairs=2, probes=2,
+                          seed=1, endpoints_per_port=10)
+        sharded = run_case_sharded(spec("arppath"), "grid", 9, pairs=2,
+                                   probes=2, seed=1, shards=3,
+                                   endpoints_per_port=10)
+        assert single == sharded
+
+    def test_default_keeps_endpoints_equal_hosts(self):
+        from repro.experiments.common import spec
+        row = run_case(spec("arppath"), "grid", 9, pairs=1, probes=1,
+                       seed=0)
+        assert row.endpoints == row.hosts
+
+
 class TestBridgeStateEntries:
     def test_learning_switch_counts_fdb(self):
         sim = Simulator(seed=0)
