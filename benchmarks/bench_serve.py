@@ -1,0 +1,140 @@
+"""EXP-E4: serve-path throughput (supporting, not from the paper).
+
+Measures the overhead of running the acceptance grid — ``sweep
+stretch --seeds 0 1 2 3`` — through the full ``repro serve`` path
+(HTTP submit -> durable store -> job worker -> pool -> SQLite records
+-> NDJSON stream) against the same grid on a bare ``SweepRunner``,
+and asserts the streamed records are byte-identical to the direct
+rows.
+
+Run with ``pytest benchmarks/bench_serve.py --benchmark-only``.
+
+``python benchmarks/bench_serve.py`` re-measures and rewrites
+``benchmarks/BENCH_serve.json``. The interesting number is
+``serve_overhead`` — serve wall over direct wall; the daemon adds
+validation, SQLite writes and HTTP polling on top of the identical
+pool execution, so the ratio should stay a small constant.
+"""
+
+import json
+import tempfile
+import time
+import urllib.request
+
+from repro.experiments import registry, runner
+from repro.metrics.report import record_line
+from repro.server.daemon import Daemon, DaemonConfig
+
+registry.load_all()
+
+#: The acceptance grid, as the HTTP API spells it.
+SEEDS = [0, 1, 2, 3]
+SPEC = {"scenario": "stretch", "seeds": SEEDS, "jobs": 2}
+POOL = 2
+
+
+def _post(base, path, payload):
+    req = urllib.request.Request(
+        base + path, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"}, method="POST")
+    with urllib.request.urlopen(req) as response:
+        return json.loads(response.read().decode())
+
+
+def _get(base, path):
+    with urllib.request.urlopen(base + path) as response:
+        return response.read().decode()
+
+
+def serve_grid():
+    """Submit SPEC to a fresh daemon; return the streamed NDJSON lines."""
+    with tempfile.TemporaryDirectory() as tmp:
+        daemon = Daemon(DaemonConfig(
+            host="127.0.0.1", port=0, db=tmp + "/serve.db",
+            workers=1, pool=POOL))
+        daemon.start()
+        base = "http://{}:{}".format(*daemon.address)
+        try:
+            job = _post(base, "/v1/jobs", SPEC)["job"]
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                state = json.loads(_get(
+                    base, f"/v1/jobs/{job['id']}"))["job"]["state"]
+                if state in ("completed", "failed", "cancelled"):
+                    break
+                time.sleep(0.02)
+            assert state == "completed", state
+            body = _get(base, f"/v1/jobs/{job['id']}/records")
+            return body.splitlines()
+        finally:
+            daemon.stop()
+
+
+def direct_grid():
+    """The same grid on a bare SweepRunner; returns canonical lines."""
+    cells = runner.expand_grid(["stretch"], seeds=SEEDS)
+    report = runner.SweepRunner(cells, jobs=POOL).run()
+    assert report.ok
+    return [record_line(row) for row in report.rows()]
+
+
+def test_serve_throughput(benchmark):
+    lines = benchmark.pedantic(serve_grid, rounds=1, iterations=1)
+    assert len(lines) >= len(SEEDS)
+
+
+def test_direct_throughput(benchmark):
+    lines = benchmark.pedantic(direct_grid, rounds=1, iterations=1)
+    assert len(lines) >= len(SEEDS)
+
+
+def test_serve_records_match_direct():
+    assert serve_grid() == direct_grid()
+
+
+def _measure(fn, rounds: int = 3) -> float:
+    """Best wall-clock seconds over *rounds* runs (after one warm-up)."""
+    fn()
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def regenerate_baseline(path: str = None) -> dict:
+    """Measure serve-path throughput and write BENCH_serve.json."""
+    import os
+
+    from repro.metrics.report import write_json
+
+    if path is None:
+        path = os.path.join(os.path.dirname(__file__), "BENCH_serve.json")
+
+    cells = len(SEEDS)
+    direct_dt = _measure(direct_grid)
+    serve_dt = _measure(serve_grid)
+    baseline = {
+        "grid": {
+            "description": "serve job {scenario: stretch, seeds: "
+                           "[0, 1, 2, 3]} vs the same grid on a bare "
+                           "SweepRunner (the acceptance grid)",
+            "cells": cells,
+        },
+        "direct": {
+            "wall_seconds": round(direct_dt, 6),
+            "cells_per_sec": round(cells / direct_dt, 3),
+        },
+        "serve": {
+            "wall_seconds": round(serve_dt, 6),
+            "cells_per_sec": round(cells / serve_dt, 3),
+        },
+        "serve_overhead": round(serve_dt / direct_dt, 3),
+    }
+    write_json(path, baseline)
+    return baseline
+
+
+if __name__ == "__main__":
+    print(json.dumps(regenerate_baseline(), indent=2, sort_keys=True))

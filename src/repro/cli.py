@@ -26,6 +26,12 @@ Parameter grids sweep through the parallel runner::
 
 Per-cell progress goes to stderr; the aggregated mean/ci95 summary
 table goes to stdout and is deterministic at any ``--jobs`` level.
+
+``repro serve`` runs the same registry as a long-lived daemon — sweep
+grids submitted over a local HTTP/JSON API, records streamed
+incrementally, job history persisted in SQLite (see ``docs/API.md``)::
+
+    python -m repro.cli serve --port 8642 --db repro-serve.db
 """
 
 from __future__ import annotations
@@ -160,6 +166,9 @@ def _run_sweep(args: argparse.Namespace) -> int:
         write_json(args.json, report.as_payload())
     if args.csv:
         write_csv(args.csv, report.rows())
+    if args.jsonl:
+        from repro.metrics.report import write_jsonl
+        write_jsonl(args.jsonl, report.rows())
     for failed in report.errors:
         print(f"\ncell {failed.cell.label()} failed:\n{failed.error}",
               file=sys.stderr)
@@ -184,9 +193,58 @@ def _add_sweep(subparsers) -> None:
                         help="write cells+rows+summary as JSON")
     parser.add_argument("--csv", metavar="PATH",
                         help="write the raw result rows as CSV")
+    parser.add_argument("--jsonl", metavar="PATH",
+                        help="write the raw result rows as canonical "
+                             "NDJSON (byte-identical to the serve "
+                             "daemon's record stream)")
     parser.add_argument("--keep-going", action="store_true",
                         help="run remaining cells after a cell fails")
     parser.set_defaults(run=_run_sweep)
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.server.daemon import Daemon, DaemonConfig, PidfileError
+    config = DaemonConfig(
+        host=args.host, port=args.port, db=args.db,
+        workers=args.workers, pool=args.pool,
+        job_timeout=args.job_timeout, drain_grace=args.drain_grace,
+        pidfile=args.pidfile, log_file=args.log_file)
+    try:
+        return Daemon(config).run()
+    except PidfileError as error:
+        raise SystemExit(f"serve: {error}")
+
+
+def _add_serve(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve", help="run the sim-as-a-service daemon: sweep jobs "
+                      "over HTTP/JSON, durable result store "
+                      "(docs/API.md)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="bind port, 0 = ephemeral (default: 8642)")
+    parser.add_argument("--db", default="repro-serve.db",
+                        help="SQLite job/result store path "
+                             "(default: repro-serve.db)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="concurrent jobs (default: 2)")
+    parser.add_argument("--pool", type=int, default=2,
+                        help="max sweep worker processes per job "
+                             "(default: 2)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        help="default per-job wall-clock budget in "
+                             "seconds (default: none)")
+    parser.add_argument("--drain-grace", type=float, default=5.0,
+                        help="seconds to drain in-flight jobs on "
+                             "shutdown before cancelling (default: 5)")
+    parser.add_argument("--pidfile", default=None,
+                        help="write the daemon pid here; refuses to "
+                             "start over a live one")
+    parser.add_argument("--log-file", default=None,
+                        help="structured JSON log destination "
+                             "(default: stderr)")
+    parser.set_defaults(run=_run_serve)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -199,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
         _add_scenario_arguments(sub, scenario)
         sub.set_defaults(run=_make_run(scenario))
     _add_sweep(subparsers)
+    _add_serve(subparsers)
     return parser
 
 

@@ -243,9 +243,12 @@ registry.register(registry.Scenario(
     title="EXP-A3: design-knob sweeps",
     params=(
         registry.Param("lock_timeouts", float, [0.0002, 0.002, 0.8, 5.0],
-                       nargs="+", help="locked-table timeouts to sweep"),
+                       nargs="+",
+                       help="locked-table lock timeouts to sweep, in "
+                            "seconds"),
         registry.Param("buffer_sizes", int, [0, 4, 32], nargs="+",
-                       help="repair buffer sizes to sweep"),
+                       help="repair buffer capacities to sweep, in "
+                            "frames (0 = drop while repairing)"),
         registry.seeds_param(),
     ),
     run=_ablations_scenario,

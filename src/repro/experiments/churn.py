@@ -386,10 +386,14 @@ registry.register(registry.Scenario(
         registry.Param("migrations", int, 0,
                        help="host migrations between edge bridges"),
         registry.Param("scripted_failures", int, 0,
-                       help="fig3-style cuts of the stream's active path"),
-        registry.Param("fps", float, 25.0, help="probe stream rate"),
+                       help="fig3-style deterministic cuts of the probe "
+                            "stream's active path, replayed on top of "
+                            "the Poisson churn (needs shards=1)"),
+        registry.Param("fps", float, 25.0,
+                       help="probe stream rate in frames per second"),
         registry.Param("stp_scale", float, 0.1,
-                       help="STP timer scale (1.0 = IEEE defaults)"),
+                       help="STP timer scale factor (1.0 = IEEE "
+                            "default timers)"),
         registry.Param("shards", int, 1,
                        help="engines per run (conservative PDES; rows "
                             "are byte-identical at any shard count)"),

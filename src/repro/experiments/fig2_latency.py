@@ -174,12 +174,13 @@ registry.register(registry.Scenario(
     params=(
         registry.Param("probes", int, 20, help="ping probes per protocol"),
         registry.Param("cross_latency_us", float, 500.0,
-                       help="latency of the demo cross cable"),
+                       help="demo cross-cable latency in microseconds"),
         registry.Param("protocols", str, ["arppath", "stp", "spb"],
                        nargs="+", choices=("arppath", "stp", "spb"),
                        help="protocols to compare"),
         registry.Param("stp_scale", float, 0.1,
-                       help="STP timer scale (1.0 = IEEE defaults)"),
+                       help="STP timer scale factor (1.0 = IEEE "
+                            "default timers)"),
         registry.seeds_param(),
     ),
     run=_fig2_scenario,
@@ -196,7 +197,7 @@ registry.register(registry.Scenario(
     params=(
         registry.Param("protocol", str, "arppath",
                        choices=("arppath", "stp", "spb"),
-                       help="bridge protocol"),
+                       help="bridge family to run"),
         registry.Param("count", int, 5, help="number of probes"),
         registry.seeds_param(),
     ),

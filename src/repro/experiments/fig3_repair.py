@@ -200,12 +200,14 @@ registry.register(registry.Scenario(
     title="Fig. 3: path repair under successive failures",
     params=(
         registry.Param("failures", int, 2, help="successive link failures"),
-        registry.Param("fps", float, 25.0, help="video stream frame rate"),
+        registry.Param("fps", float, 25.0,
+                       help="video stream rate in frames per second"),
         registry.Param("failure_spacing", float, 2.0,
                        help="seconds between failures (STP runs use "
                             "max(this, reconvergence time))"),
         registry.Param("stp_scale", float, 0.1,
-                       help="STP timer scale (1.0 = IEEE defaults)"),
+                       help="STP timer scale factor (1.0 = IEEE "
+                            "default timers)"),
         registry.Param("protocols", str, ["arppath", "stp"],
                        nargs="+", choices=("arppath", "stp", "spb"),
                        help="protocols to compare"),

@@ -114,14 +114,18 @@ registry.register(registry.Scenario(
     name="loadbalance",
     title="EXP-A2: load distribution over a fabric",
     params=(
-        registry.Param("pods", int, 4, help="leaf switches in the fabric"),
-        registry.Param("hosts_per_edge", int, 2, help="hosts per leaf"),
+        registry.Param("pods", int, 4,
+                       help="edge (leaf) switches in the two-tier "
+                            "fabric"),
+        registry.Param("hosts_per_edge", int, 2,
+                       help="hosts per edge switch"),
         registry.Param("packets", int, 50, help="packets per flow"),
         registry.Param("protocols", str, ["arppath", "stp", "spb"],
                        nargs="+", choices=("arppath", "stp", "spb"),
                        help="protocols to compare"),
         registry.Param("stp_scale", float, None,
-                       help="STP timer scale (default: IEEE timers)"),
+                       help="STP timer scale factor (omitted = IEEE "
+                            "default timers)"),
         registry.seeds_param(),
     ),
     run=_loadbalance_scenario,

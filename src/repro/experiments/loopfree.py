@@ -163,7 +163,8 @@ registry.register(registry.Scenario(
                        nargs="+", choices=("arppath", "stp", "spb"),
                        help="protocols to compare"),
         registry.Param("stp_scale", float, None,
-                       help="STP timer scale (default: IEEE timers)"),
+                       help="STP timer scale factor (omitted = IEEE "
+                            "default timers)"),
         registry.seeds_param(),
     ),
     run=_loopfree_scenario,

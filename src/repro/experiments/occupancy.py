@@ -186,8 +186,10 @@ registry.register(registry.Scenario(
                        help="talking pairs in the sparse traffic case"),
         registry.Param("endpoints_per_port", int, 1,
                        help="simulated endpoints behind each access "
-                            "port (1 = plain hosts; >1 adds flyweight "
-                            "populations and heavy-tailed flows)"),
+                            "port (1 = plain hosts; >1 swaps in "
+                            "flyweight populations and adds the "
+                            "heavy-tailed Zipf elephant/mice flow "
+                            "phase)"),
         registry.seeds_param(),
     ),
     run=_occupancy_scenario,

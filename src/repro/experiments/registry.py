@@ -17,6 +17,15 @@ parameter (a list of ints), so every subcommand accepts ``--seeds 0 1 2``
 and the single-seed alias ``--seed N``. Scenarios whose underlying
 ``run()`` takes one seed are adapted with :func:`seeded`, which runs
 once per seed and concatenates result rows.
+
+The same table is the API surface of the ``repro serve`` daemon
+(:mod:`repro.server`): :meth:`Param.schema` / :meth:`Scenario.schema`
+export each spec as a JSON-schema fragment (``GET /v1/scenarios``
+returns it verbatim, ``repro.server.docgen`` renders it into
+``docs/API.md``), and :meth:`Scenario.validate_submission` checks a
+decoded JSON submission against the spec — same defaults, same choices,
+same list shaping as the CLI, so the HTTP surface can never drift from
+the command line.
 """
 
 from __future__ import annotations
@@ -51,6 +60,30 @@ _MODULES = (
 
 _loaded = False
 
+#: Python param types -> JSON-schema scalar type names.
+_JSON_TYPES = {int: "integer", float: "number", str: "string",
+               bool: "boolean"}
+
+#: JSON-schema scalar type names -> accepted decoded-JSON types.
+#: ``bool`` is an ``int`` subclass in Python, so integer/number checks
+#: must reject it explicitly; numbers accept ints (JSON has one number
+#: type) and coerce them to float.
+_ACCEPTS = {"integer": (int,), "number": (int, float), "string": (str,),
+            "boolean": (bool,)}
+
+
+class SubmissionError(ValueError):
+    """A job submission does not match the registry's param specs.
+
+    Carries the offending field path (``"sizes"``, ``"set.protocols"``)
+    so API error payloads can point at the exact input field.
+    """
+
+    def __init__(self, field_path: str, message: str):
+        super().__init__(f"{field_path}: {message}")
+        self.field = field_path
+        self.reason = message
+
 
 @dataclass(frozen=True)
 class Param:
@@ -79,6 +112,72 @@ class Param:
         if self.choices is not None and value not in self.choices:
             raise ValueError(
                 f"--{self.name}: {value!r} not in {list(self.choices)}")
+        return value
+
+    @property
+    def json_type(self) -> str:
+        """The JSON-schema scalar type of one item of this parameter."""
+        return _JSON_TYPES.get(self.type, "string")
+
+    def schema(self) -> Dict[str, Any]:
+        """This parameter as a JSON-schema fragment.
+
+        List parameters (``nargs="+"``) become non-empty arrays; a
+        ``None`` default means null is a meaningful value (e.g.
+        ``stp_scale``: null = IEEE default timers) and widens the type
+        to include ``"null"``.
+        """
+        item: Dict[str, Any] = {"type": self.json_type}
+        if self.choices is not None:
+            item["enum"] = list(self.choices)
+        out: Dict[str, Any] = (
+            {"type": "array", "items": item, "minItems": 1}
+            if self.is_list else item)
+        if self.default is None:
+            out = {"anyOf": [out, {"type": "null"}]}
+        if self.help:
+            out["description"] = self.help
+        out["default"] = copy.copy(self.default)
+        return out
+
+    def validate(self, value: Any, field_path: Optional[str] = None
+                 ) -> Any:
+        """Check one decoded-JSON *value* against this spec.
+
+        Returns the value coerced to the param's Python shape (numbers
+        to float for float params, sequences to lists) or raises
+        :class:`SubmissionError` naming *field_path*.
+        """
+        path = field_path if field_path is not None else self.name
+        if value is None:
+            if self.default is None:
+                return None
+            raise SubmissionError(path, "null not allowed "
+                                        f"(expected {self.json_type})")
+        if self.is_list:
+            if not isinstance(value, (list, tuple)):
+                raise SubmissionError(
+                    path, f"expected an array of {self.json_type}")
+            if not value:
+                raise SubmissionError(path, "array must be non-empty")
+            return [self._validate_item(item, f"{path}[{i}]")
+                    for i, item in enumerate(value)]
+        return self._validate_item(value, path)
+
+    def _validate_item(self, value: Any, path: str) -> Any:
+        accepted = _ACCEPTS.get(self.json_type, (str,))
+        if isinstance(value, bool) and self.json_type != "boolean":
+            raise SubmissionError(
+                path, f"expected {self.json_type}, got boolean")
+        if not isinstance(value, accepted):
+            raise SubmissionError(
+                path, f"expected {self.json_type}, "
+                      f"got {type(value).__name__}")
+        if self.type is float:
+            value = float(value)
+        if self.choices is not None and value not in self.choices:
+            raise SubmissionError(
+                path, f"{value!r} not one of {list(self.choices)}")
         return value
 
 
@@ -150,6 +249,46 @@ class Scenario:
         from repro.metrics.report import records
         return records(result)
 
+    def schema(self) -> Dict[str, Any]:
+        """This scenario's param spec as a JSON-schema object.
+
+        Every parameter has a registry default, so none is required at
+        the scenario level — a submission's required fields live in the
+        job-envelope schema (:func:`submission_schema`).
+        """
+        return {
+            "type": "object",
+            "title": self.name,
+            "description": self.title,
+            "properties": {p.name: p.schema() for p in self.params},
+            "additionalProperties": False,
+            "required": [],
+        }
+
+    def validate_submission(self, overrides: Optional[Dict[str, Any]],
+                            field_prefix: str = ""
+                            ) -> Dict[str, Any]:
+        """Check decoded-JSON *overrides* against this scenario's spec.
+
+        Unknown names and type/choices mismatches raise
+        :class:`SubmissionError` (with *field_prefix* prepended to the
+        offending field path); valid values come back coerced to their
+        Python shapes, ready for :meth:`bind`.
+        """
+        validated: Dict[str, Any] = {}
+        for name, value in (overrides or {}).items():
+            path = field_prefix + name
+            try:
+                param = self.param(name)
+            except KeyError:
+                raise SubmissionError(
+                    path, f"unknown parameter of scenario "
+                          f"{self.name!r} (has: "
+                          f"{', '.join(p.name for p in self.params)})"
+                ) from None
+            validated[name] = param.validate(value, path)
+        return validated
+
 
 def register(scenario: Scenario) -> Scenario:
     """Add *scenario* to the registry (import-time self-registration)."""
@@ -194,6 +333,76 @@ def names() -> List[str]:
 
 def all_scenarios() -> List[Scenario]:
     return [_SCENARIOS[name] for name in names()]
+
+
+def schema() -> Dict[str, Any]:
+    """Every registered scenario's JSON schema, in presentation order.
+
+    This is the payload of ``GET /v1/scenarios`` and the source of
+    ``docs/API.md``'s parameter tables — both are generated from the
+    same :class:`Param` specs the CLI parses, so none of the three
+    surfaces can drift from the others.
+    """
+    load_all()
+    return {
+        "scenarios": [get(name).schema() for name in names()],
+        "submission": submission_schema(),
+    }
+
+
+def submission_schema() -> Dict[str, Any]:
+    """The job envelope accepted by ``POST /v1/jobs``.
+
+    ``scenario`` is the one required field; ``seeds`` and the ``set``
+    sweep axes default exactly as ``repro sweep`` defaults them, so an
+    HTTP submission and the equivalent CLI invocation expand to the
+    same grid.
+    """
+    load_all()
+    return {
+        "type": "object",
+        "title": "job",
+        "description": "A sweep-grid submission: scenario x seeds x "
+                       "set-axis values, mirroring `repro sweep`.",
+        "properties": {
+            "scenario": {
+                "type": "string",
+                "enum": names(),
+                "description": "registered scenario to run",
+            },
+            "seeds": {
+                "type": "array",
+                "items": {"type": "integer"},
+                "minItems": 1,
+                "default": [0],
+                "description": "RNG seeds: one run of every grid "
+                               "point per seed",
+            },
+            "set": {
+                "type": "object",
+                "default": {},
+                "description": "sweep axes: scenario parameter name "
+                               "-> array of values to grid over "
+                               "(`repro sweep --set name=v1,v2`)",
+            },
+            "jobs": {
+                "type": "integer",
+                "minimum": 1,
+                "default": 1,
+                "description": "worker processes for this job's cells "
+                               "(capped by the server's --pool)",
+            },
+            "timeout": {
+                "anyOf": [{"type": "number", "exclusiveMinimum": 0},
+                          {"type": "null"}],
+                "default": None,
+                "description": "per-job wall-clock budget in seconds "
+                               "(null = the server's --job-timeout)",
+            },
+        },
+        "additionalProperties": False,
+        "required": ["scenario"],
+    }
 
 
 def seeded(run_one: Callable[..., Any],

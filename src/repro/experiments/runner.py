@@ -20,8 +20,8 @@ import multiprocessing
 import time
 import traceback
 from dataclasses import dataclass, field
-from typing import (Any, Dict, Iterable, Iterator, List, Optional, Sequence,
-                    Tuple)
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple)
 
 from repro.experiments import registry
 from repro.metrics.stats import aggregate_rows
@@ -141,6 +141,11 @@ def execute_cell(cell: SweepCell) -> CellResult:
                       elapsed=time.perf_counter() - started)
 
 
+#: How often a parallel stream wakes up to poll its cancel callable
+#: while no cell result is ready (seconds).
+_CANCEL_POLL_S = 0.05
+
+
 class SweepRunner:
     """Execute sweep cells, in process or on a multiprocessing pool."""
 
@@ -150,18 +155,47 @@ class SweepRunner:
         self.cells = list(cells)
         self.jobs = jobs
 
-    def stream(self) -> Iterator[CellResult]:
+    def stream(self, cancel: Optional[Callable[[], bool]] = None
+               ) -> Iterator[CellResult]:
         """Yield each cell's result as it completes (unordered when
-        parallel)."""
+        parallel).
+
+        *cancel* is polled between cells (and, on the pool path, while
+        waiting for results): once it returns true the stream stops
+        issuing work, terminates any pool workers and ends early —
+        already-yielded results stay valid, unfinished cells are simply
+        never yielded. This is the primitive the ``repro serve`` job
+        queue builds cancellation and per-job timeouts on.
+        """
+        cancelled = cancel if cancel is not None else (lambda: False)
         if self.jobs == 1 or len(self.cells) <= 1:
             for cell in self.cells:
+                if cancelled():
+                    return
                 yield execute_cell(cell)
             return
         context = multiprocessing.get_context()
-        with context.Pool(processes=min(self.jobs, len(self.cells))) \
-                as pool:
-            for result in pool.imap_unordered(execute_cell, self.cells):
+        pool = context.Pool(processes=min(self.jobs, len(self.cells)))
+        try:
+            results = pool.imap_unordered(execute_cell, self.cells)
+            pending = len(self.cells)
+            while pending:
+                if cancelled():
+                    pool.terminate()
+                    return
+                try:
+                    result = results.next(timeout=_CANCEL_POLL_S)
+                except multiprocessing.TimeoutError:
+                    continue
+                except StopIteration:
+                    return
+                pending -= 1
                 yield result
+        finally:
+            # terminate() is idempotent; on the normal path the workers
+            # are already idle, so this is just the fast close.
+            pool.terminate()
+            pool.join()
 
     def run(self) -> "SweepReport":
         """Execute every cell and return the collected report."""

@@ -499,14 +499,17 @@ registry.register(registry.Scenario(
                        help="probe host pairs (capped at hosts//2)"),
         registry.Param("probes", int, 3, help="probe rounds per pair"),
         registry.Param("stp_scale", float, 0.1,
-                       help="STP timer scale (1.0 = IEEE defaults)"),
+                       help="STP timer scale factor (1.0 = IEEE "
+                            "default timers)"),
         registry.Param("shards", int, 1,
                        help="engines per cell (conservative PDES; rows "
                             "are byte-identical at any shard count)"),
         registry.Param("endpoints_per_port", int, 1,
                        help="simulated endpoints behind each access "
-                            "port (1 = plain hosts; >1 adds flyweight "
-                            "populations and heavy-tailed flows)"),
+                            "port (1 = plain hosts; >1 swaps in "
+                            "flyweight populations and adds the "
+                            "heavy-tailed Zipf elephant/mice flow "
+                            "phase)"),
         registry.seeds_param(),
     ),
     run=_scale_scenario,

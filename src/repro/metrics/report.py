@@ -115,3 +115,25 @@ def write_json(path: str, payload: Any) -> None:
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+def record_line(row: Dict[str, Any]) -> str:
+    """One record row as its canonical JSON line (no trailing newline).
+
+    This is THE serialization of a record everywhere records travel as
+    lines: ``repro sweep --jsonl`` artifacts, the serve daemon's SQLite
+    record store and its ``GET /v1/jobs/<id>/records`` NDJSON stream
+    all call this function — which is what makes the determinism
+    contract *byte*-comparable across those surfaces, not just
+    value-comparable. Keys are sorted and separators compact, so the
+    bytes depend only on the row's contents.
+    """
+    return json.dumps(row, sort_keys=True, separators=(",", ":"))
+
+
+def write_jsonl(path: str, rows: Sequence[Dict[str, Any]]) -> None:
+    """Write *rows* as canonical newline-delimited JSON records."""
+    with open(path, "w") as handle:
+        for row in rows:
+            handle.write(record_line(row))
+            handle.write("\n")

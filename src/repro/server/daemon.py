@@ -1,0 +1,228 @@
+"""Daemon lifecycle: pidfile, signals, graceful shutdown, logs.
+
+``repro serve`` runs :class:`Daemon` in the foreground (process
+supervision belongs to systemd/tmux/CI, not to a self-forking
+double-fork dance): it writes a pidfile, opens the store, starts the
+job workers and the HTTP server, then waits for SIGTERM/SIGINT.
+
+Graceful shutdown is signal-driven and ordered:
+
+1. the HTTP listener stops accepting (in-flight responses finish),
+2. the job manager drains in-flight jobs for ``drain_grace`` seconds,
+   then cancels what remains — pool workers are terminated, each
+   still-running job is marked ``cancelled`` in the store, queued
+   jobs stay ``queued`` for the next start,
+3. the store closes, the pidfile is removed, exit 0.
+
+A stale pidfile (no such process) is replaced silently; a live one
+makes startup fail fast instead of racing another daemon onto the
+same database.
+
+Logs are structured: one JSON object per line on stderr (or
+``--log-file``), carrying at least ``ts``, ``level``, ``logger`` and
+``msg``; request lines add method/route/status/elapsed_ms.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import logging
+import os
+import signal
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.server.http import ReproHTTPServer
+from repro.server.jobs import JobManager
+from repro.server.store import Store
+
+log = logging.getLogger("repro.serve.daemon")
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per log line (the structured-log contract)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry: Dict[str, Any] = {
+            "ts": round(record.created, 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        structured = getattr(record, "structured", None)
+        if structured:
+            entry.update(structured)
+        if record.exc_info:
+            entry["traceback"] = self.formatException(record.exc_info)
+        return json.dumps(entry, sort_keys=True)
+
+
+def configure_logging(log_file: Optional[str] = None,
+                      level: int = logging.INFO) -> None:
+    """Attach the JSON formatter to the ``repro.serve`` logger tree."""
+    root = logging.getLogger("repro.serve")
+    root.setLevel(level)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = (logging.FileHandler(log_file) if log_file
+               else logging.StreamHandler())
+    handler.setFormatter(JsonLogFormatter())
+    root.addHandler(handler)
+    root.propagate = False
+
+
+class PidfileError(RuntimeError):
+    """Another live daemon already owns the pidfile."""
+
+
+@dataclass
+class DaemonConfig:
+    """Everything ``repro serve`` can tune, with serving defaults."""
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    db: str = "repro-serve.db"
+    workers: int = 2            # concurrent jobs
+    pool: int = 2               # max worker processes per job
+    job_timeout: Optional[float] = None
+    drain_grace: float = 5.0    # seconds to drain before cancelling
+    pidfile: Optional[str] = None
+    log_file: Optional[str] = None
+
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class Daemon:
+    """The serve process: store + job workers + HTTP, one lifecycle."""
+
+    def __init__(self, config: DaemonConfig):
+        self.config = config
+        self.store: Optional[Store] = None
+        self.manager: Optional[JobManager] = None
+        self.server: Optional[ReproHTTPServer] = None
+        self._shutdown = threading.Event()
+        self._serve_thread: Optional[threading.Thread] = None
+        self._pidfile_owned = False
+
+    # -- pidfile ------------------------------------------------------
+
+    def _write_pidfile(self) -> None:
+        path = self.config.pidfile
+        if path is None:
+            return
+        if os.path.exists(path):
+            try:
+                stale_pid = int(open(path).read().strip())
+            except (ValueError, OSError):
+                stale_pid = None
+            if stale_pid is not None and _pid_alive(stale_pid):
+                raise PidfileError(
+                    f"pidfile {path} names a live process {stale_pid}; "
+                    "is another `repro serve` already running?")
+            os.unlink(path)  # stale: owner is gone
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        with os.fdopen(fd, "w") as handle:
+            handle.write(f"{os.getpid()}\n")
+        self._pidfile_owned = True
+
+    def _remove_pidfile(self) -> None:
+        if self._pidfile_owned and self.config.pidfile:
+            try:
+                os.unlink(self.config.pidfile)
+            except OSError:
+                pass
+            self._pidfile_owned = False
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> None:
+        """Bring everything up (non-blocking; used by tests and run())."""
+        config = self.config
+        self._write_pidfile()
+        self.store = Store(config.db)
+        self.manager = JobManager(self.store, workers=config.workers,
+                                  pool_jobs=config.pool,
+                                  default_timeout=config.job_timeout)
+        self.manager.start()
+        self.server = ReproHTTPServer((config.host, config.port),
+                                      self.store, self.manager)
+        self._serve_thread = threading.Thread(
+            target=self.server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="http-listener", daemon=True)
+        self._serve_thread.start()
+        log.info(
+            "listening on http://%s:%d (db=%s workers=%d pool=%d)",
+            *self.address, config.db, config.workers, config.pool,
+            extra={"structured": {
+                "event": "started", "host": self.address[0],
+                "port": self.address[1], "db": config.db,
+                "workers": config.workers, "pool": config.pool,
+                "pid": os.getpid()}})
+
+    @property
+    def address(self) -> tuple:
+        """The bound (host, port) — port 0 resolves to the real one."""
+        assert self.server is not None, "daemon not started"
+        return self.server.server_address[:2]
+
+    def stop(self, drain: Optional[bool] = None) -> None:
+        """Graceful shutdown: HTTP first, then jobs, then the store."""
+        if self.server is not None:
+            self.server.shutdown()
+            self.server.server_close()
+            self.server = None
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+        if self.manager is not None:
+            self.manager.shutdown(
+                drain=True if drain is None else drain,
+                grace=self.config.drain_grace)
+            self.manager = None
+        if self.store is not None:
+            self.store.close()
+            self.store = None
+        self._remove_pidfile()
+        log.info("stopped", extra={"structured": {"event": "stopped"}})
+
+    def request_shutdown(self, signum: Optional[int] = None) -> None:
+        """Signal-safe: flag the run() loop to exit (idempotent)."""
+        if signum is not None:
+            log.info("received signal %d, shutting down", signum,
+                     extra={"structured": {"event": "signal",
+                                           "signal": signum}})
+        self._shutdown.set()
+
+    def run(self) -> int:
+        """Foreground main: start, wait for a signal, stop. Exit 0."""
+        configure_logging(self.config.log_file)
+        previous = {
+            signal.SIGTERM: signal.signal(
+                signal.SIGTERM,
+                lambda signum, frame: self.request_shutdown(signum)),
+            signal.SIGINT: signal.signal(
+                signal.SIGINT,
+                lambda signum, frame: self.request_shutdown(signum)),
+        }
+        try:
+            self.start()
+            self._shutdown.wait()
+        finally:
+            self.stop()
+            for signum, handler in previous.items():
+                signal.signal(signum, handler)
+        return 0
+
+
+def _pid_alive(pid: int) -> bool:
+    """Is *pid* a live process we could signal?"""
+    try:
+        os.kill(pid, 0)
+    except OSError as error:
+        if error.errno == errno.ESRCH:
+            return False
+        return True  # EPERM: alive, owned by someone else
+    return True

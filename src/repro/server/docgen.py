@@ -1,0 +1,272 @@
+"""Generate ``docs/API.md`` from the scenario registry.
+
+The endpoint reference is prose in this module; every scenario and
+parameter table is rendered from the same
+:class:`~repro.experiments.registry.Param` specs the CLI and the HTTP
+API validate against — the doc cannot say something the code doesn't.
+
+Usage::
+
+    python -m repro.server.docgen            # print to stdout
+    python -m repro.server.docgen --write    # rewrite docs/API.md
+    python -m repro.server.docgen --check    # exit 1 if docs/API.md
+                                             # differs (the CI gate)
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import json
+import sys
+from typing import Any, List, Optional
+
+from repro.experiments import registry
+
+DOC_PATH = "docs/API.md"
+
+_HEADER = """\
+# `repro serve` — HTTP/JSON API reference
+
+> **Generated file — do not edit by hand.** This document is rendered
+> from the scenario registry by `python -m repro.server.docgen --write`
+> and CI fails if it drifts from the code
+> (`python -m repro.server.docgen --check`).
+
+The `repro serve` daemon runs the simulator as a service: submit
+sweep grids over HTTP, stream result records incrementally, and query
+job history that survives daemon restarts. Start it with:
+
+```console
+$ python -m repro.cli serve --port 8642 --db repro-serve.db --workers 2
+```
+
+All endpoints live under `/v1` and speak JSON, except the record
+stream, which is newline-delimited JSON (NDJSON). Errors come back as
+`{"error": {"message": ..., "field": ...}}` with a 4xx/5xx status.
+
+## Endpoints
+
+| Method | Path | Purpose |
+| --- | --- | --- |
+| `GET` | `/v1/health` | liveness probe: `{"status": "ok", "uptime_s": ...}` |
+| `GET` | `/v1/scenarios` | every scenario's JSON schema plus the job envelope schema |
+| `GET` | `/v1/scenarios/<name>` | one scenario's JSON schema |
+| `POST` | `/v1/jobs` | submit a sweep grid; returns `202` with the queued job |
+| `GET` | `/v1/jobs?state=&limit=` | job history, newest first, optionally filtered by state |
+| `GET` | `/v1/jobs/<id>` | one job's status, progress and error traceback (if any) |
+| `POST` | `/v1/jobs/<id>/cancel` | cancel a queued or running job |
+| `GET` | `/v1/jobs/<id>/records?offset=&limit=` | stream result records (NDJSON) with offset resumption |
+| `GET` | `/v1/jobs/<id>/summary` | the aggregated mean/ci95 summary of a finished job |
+| `GET` | `/v1/stats` | request counters, latency histograms, worker and job-state counts |
+
+### Job lifecycle
+
+A job moves `queued → running → completed | failed | cancelled`.
+`failed` jobs carry a worker traceback (or a timeout notice) in their
+`error` field; `cancelled` covers client cancels and daemon shutdown
+mid-job. Queued jobs survive a daemon restart and run when the daemon
+next starts; jobs interrupted mid-run are closed out as `cancelled`
+with their partial records kept.
+
+### Record streaming and determinism
+
+`GET /v1/jobs/<id>/records` returns `application/x-ndjson`: one
+canonical JSON record per line, in cell-index order. Resume with
+`?offset=N` (skip the first N records); the `X-Next-Offset` response
+header is the offset to resume from, and `X-Job-State` says whether
+more records may still arrive (keep polling until the state is
+terminal). `?format=json` wraps the same rows in a JSON envelope.
+
+**Determinism contract:** a job's record stream is byte-identical to
+`repro sweep <scenario> --seeds ... --set ... --jsonl out.jsonl` for
+the same grid, at any worker-pool size — both surfaces serialize rows
+with the same canonical encoder and emit them in cell-index order.
+"""
+
+_WALKTHROUGH = """\
+## Walkthrough (curl)
+
+Start a daemon, submit a small churn grid, follow the records, check
+the history:
+
+```console
+$ python -m repro.cli serve --port 8642 --db demo.db &
+$ curl -s localhost:8642/v1/health
+{"status": "ok", "uptime_s": 0.42}
+
+# What can I run? (schemas generated from the registry)
+$ curl -s localhost:8642/v1/scenarios | python -m json.tool | head
+
+# Submit: churn on the demo ring, 2 seeds, sweeping flap_rate
+$ curl -s -X POST localhost:8642/v1/jobs \\
+    -H 'Content-Type: application/json' \\
+    -d '{"scenario": "churn", "seeds": [0, 1],
+         "set": {"flap_rate": [0.5], "duration": [3],
+                 "protocols": ["arppath"]},
+         "jobs": 2}'
+{"job": {"id": 1, "state": "queued", "cells_total": 2, ...}}
+
+# Poll status / progress
+$ curl -s localhost:8642/v1/jobs/1
+{"job": {"id": 1, "state": "running", "cells_done": 1, ...}}
+
+# Stream records as they land; resume from X-Next-Offset
+$ curl -si localhost:8642/v1/jobs/1/records?offset=0 | head
+HTTP/1.1 200 OK
+Content-Type: application/x-ndjson
+X-Job-State: completed
+X-Next-Offset: 8
+{"availability":1.0,"downtime_s":0.0,...,"scenario":"churn","seed":0}
+
+# Aggregated mean/ci95 summary (same shape as `repro sweep --json`)
+$ curl -s localhost:8642/v1/jobs/1/summary | python -m json.tool
+
+# History survives restarts
+$ curl -s 'localhost:8642/v1/jobs?state=completed&limit=10'
+
+# Observability
+$ curl -s localhost:8642/v1/stats | python -m json.tool
+```
+
+Graceful shutdown: `kill -TERM <pid>` drains in-flight jobs for
+`--drain-grace` seconds, cancels what remains (the job is marked
+`cancelled` in the store — never orphaned), and exits 0.
+"""
+
+
+def _fmt_default(value: Any) -> str:
+    if value is None:
+        return "`null`"
+    return f"`{json.dumps(value)}`"
+
+
+def _fmt_type(param: registry.Param) -> str:
+    base = param.json_type
+    if param.is_list:
+        base = f"array of {base}"
+    if param.default is None:
+        base += " or null"
+    return base
+
+
+def _param_table(params) -> List[str]:
+    lines = ["| Parameter | Type | Default | Choices | Description |",
+             "| --- | --- | --- | --- | --- |"]
+    for param in params:
+        choices = " ".join(f"`{json.dumps(choice)}`"
+                           for choice in param.choices) \
+            if param.choices is not None else "—"
+        sweepable = "" if param.sweep else " *(not a sweep axis)*"
+        lines.append(
+            f"| `{param.name}` | {_fmt_type(param)} "
+            f"| {_fmt_default(param.default)} | {choices} "
+            f"| {param.help}{sweepable} |")
+    return lines
+
+
+def _envelope_section() -> List[str]:
+    schema = registry.submission_schema()
+    lines = [
+        "## Job submission envelope (`POST /v1/jobs`)",
+        "",
+        schema["description"],
+        "",
+        "| Field | Type | Required | Default | Description |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    required = set(schema["required"])
+    for name, prop in schema["properties"].items():
+        if "anyOf" in prop:
+            kind = " or ".join(p["type"] for p in prop["anyOf"])
+        elif prop["type"] == "array":
+            kind = f"array of {prop['items']['type']}"
+        else:
+            kind = prop["type"]
+        lines.append(
+            f"| `{name}` | {kind} "
+            f"| {'yes' if name in required else 'no'} "
+            f"| {_fmt_default(prop.get('default'))} "
+            f"| {prop['description']} |")
+    lines += [
+        "",
+        "`set` values mirror `repro sweep --set name=v1,v2`: each axis",
+        "maps to an **array** of values to grid over, and for",
+        "list-typed parameters a scalar axis value becomes a singleton",
+        "list per cell (sweeping `protocols` over `[\"arppath\",",
+        "\"stp\"]` runs each family as its own cell).",
+    ]
+    return lines
+
+
+def _scenario_sections() -> List[str]:
+    lines = ["## Scenarios",
+             "",
+             "One subsection per registered scenario; the same table "
+             "backs `GET /v1/scenarios` and the CLI's `--help`. Every "
+             "scenario also accepts `seeds` (one run of every grid "
+             "point per seed)."]
+    for scenario in registry.all_scenarios():
+        lines += ["", f"### `{scenario.name}` — {scenario.title}", ""]
+        lines += _param_table(scenario.params)
+    return lines
+
+
+def render() -> str:
+    """The full docs/API.md content."""
+    registry.load_all()
+    parts = [_HEADER]
+    parts.append("\n".join(_envelope_section()) + "\n")
+    parts.append("\n".join(_scenario_sections()) + "\n")
+    parts.append(_WALKTHROUGH)
+    return "\n".join(parts)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server.docgen",
+        description="Render docs/API.md from the scenario registry.")
+    parser.add_argument("--doc", default=DOC_PATH,
+                        help="path of the committed API.md "
+                             f"(default: {DOC_PATH})")
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--write", action="store_true",
+                      help="rewrite --doc in place")
+    mode.add_argument("--check", action="store_true",
+                      help="exit 1 if --doc differs from the "
+                           "rendered output (CI drift gate)")
+    args = parser.parse_args(argv)
+
+    content = render()
+    if args.write:
+        with open(args.doc, "w") as handle:
+            handle.write(content)
+        print(f"wrote {args.doc}")
+        return 0
+    if args.check:
+        try:
+            committed = open(args.doc).read()
+        except FileNotFoundError:
+            print(f"{args.doc} is missing — run "
+                  "`python -m repro.server.docgen --write`",
+                  file=sys.stderr)
+            return 1
+        if committed != content:
+            diff = difflib.unified_diff(
+                committed.splitlines(keepends=True),
+                content.splitlines(keepends=True),
+                fromfile=f"{args.doc} (committed)",
+                tofile=f"{args.doc} (generated)")
+            sys.stderr.writelines(diff)
+            print(f"\n{args.doc} drifted from the registry — run "
+                  "`python -m repro.server.docgen --write`",
+                  file=sys.stderr)
+            return 1
+        print(f"{args.doc} is up to date")
+        return 0
+    sys.stdout.write(content)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,352 @@
+"""Job queue + worker orchestration for the serve daemon.
+
+A *job* is one sweep-grid submission: ``{"scenario": ..., "seeds":
+[...], "set": {axis: [values]}}`` — the HTTP twin of ``repro sweep``.
+:func:`validate_submission` checks a decoded JSON payload against the
+scenario registry's :class:`~repro.experiments.registry.Param` specs
+(same defaults, same choices, same list shaping as the CLI) and
+normalizes it into the spec stored with the job.
+
+:class:`JobManager` owns a bounded team of worker threads that pull
+queued job ids from the store, expand each spec through
+:func:`repro.experiments.runner.expand_grid` and execute the cells on
+the existing :class:`~repro.experiments.runner.SweepRunner` pool —
+``jobs=K`` per submission, capped by the server's ``--pool``.
+
+Determinism: cell results may complete out of order on the pool, but
+records are appended to the store strictly in cell-index order (an
+out-of-order result waits in a buffer until its prefix is complete),
+each row serialized with :func:`repro.metrics.report.record_line` —
+so the stored byte stream equals ``repro sweep --jsonl`` for the same
+grid at any pool size, and ``GET .../records?offset=N`` resumption
+never observes a gap or a reorder.
+
+Robustness: a cell that raises is a `CellResult` carrying the worker
+traceback (the ``ShardWorkerError`` convention) — the job finishes
+``failed`` with that traceback in its status instead of wedging the
+queue; an unexpected orchestration error is caught the same way. A
+per-job wall-clock timeout and client cancellation both ride the
+runner's ``cancel`` callable, which terminates pool workers promptly.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import threading
+import time
+import traceback
+from typing import Any, Dict, List, Optional
+
+from repro.experiments import registry, runner
+from repro.experiments.registry import SubmissionError
+from repro.metrics.report import record_line
+from repro.server import store as jobstore
+from repro.server.store import Store
+
+log = logging.getLogger("repro.serve.jobs")
+
+#: Top-level fields a submission may carry (the envelope schema).
+_FIELDS = ("scenario", "seeds", "set", "jobs", "timeout")
+
+
+def validate_submission(payload: Any) -> Dict[str, Any]:
+    """Check a decoded ``POST /v1/jobs`` body; return the job spec.
+
+    Raises :class:`~repro.experiments.registry.SubmissionError` naming
+    the offending field. The returned spec is fully normalized —
+    defaults filled, numbers coerced — and is what the store persists,
+    so job history always shows the *effective* grid.
+    """
+    if not isinstance(payload, dict):
+        raise SubmissionError("(body)", "expected a JSON object")
+    for key in payload:
+        if key not in _FIELDS:
+            raise SubmissionError(
+                key, f"unknown field (expected: {', '.join(_FIELDS)})")
+
+    name = payload.get("scenario")
+    if not isinstance(name, str):
+        raise SubmissionError("scenario", "required, must be a string")
+    try:
+        scenario = registry.get(name)
+    except KeyError as error:
+        raise SubmissionError("scenario", str(error.args[0])) from None
+
+    seeds_spec = scenario.param("seeds")
+    seeds = payload.get("seeds", seeds_spec.default)
+    seeds = seeds_spec.validate(seeds, "seeds")
+
+    axes: Dict[str, List[Any]] = {}
+    set_block = payload.get("set", {})
+    if not isinstance(set_block, dict):
+        raise SubmissionError("set", "expected an object of "
+                                     "param -> array of values")
+    for axis, values in set_block.items():
+        path = f"set.{axis}"
+        try:
+            param = scenario.param(axis)
+        except KeyError:
+            raise SubmissionError(
+                path, f"unknown parameter of scenario {name!r}"
+            ) from None
+        if not param.sweep or param.name == "seeds":
+            raise SubmissionError(path, "cannot be a sweep axis")
+        if not isinstance(values, list) or not values:
+            raise SubmissionError(path, "expected a non-empty array "
+                                        "of axis values")
+        checked = []
+        for i, value in enumerate(values):
+            # Mirror the CLI's --set shaping: for list-typed params a
+            # scalar axis value means a singleton list per cell.
+            if param.is_list and not isinstance(value, (list, tuple)):
+                checked.append(param.validate([value],
+                                              f"{path}[{i}]")[0])
+            else:
+                checked.append(param.validate(value, f"{path}[{i}]"))
+        axes[axis] = checked
+
+    jobs = payload.get("jobs", 1)
+    if isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1:
+        raise SubmissionError("jobs", "expected an integer >= 1")
+
+    timeout = payload.get("timeout")
+    if timeout is not None:
+        if isinstance(timeout, bool) or \
+                not isinstance(timeout, (int, float)) or timeout <= 0:
+            raise SubmissionError("timeout",
+                                  "expected a positive number or null")
+        timeout = float(timeout)
+
+    return {"scenario": name, "seeds": seeds, "set": axes,
+            "jobs": jobs, "timeout": timeout}
+
+
+def spec_cells(spec: Dict[str, Any]) -> List[runner.SweepCell]:
+    """Expand a validated job spec into its sweep cells."""
+    return runner.expand_grid([spec["scenario"]], spec["seeds"],
+                              spec["set"])
+
+
+class JobManager:
+    """Background workers executing queued jobs from the store."""
+
+    def __init__(self, store: Store, workers: int = 2,
+                 pool_jobs: int = 1,
+                 default_timeout: Optional[float] = None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if pool_jobs < 1:
+            raise ValueError("pool_jobs must be >= 1")
+        self.store = store
+        self.workers = workers
+        self.pool_jobs = pool_jobs
+        self.default_timeout = default_timeout
+        self._queue: "queue.Queue[int]" = queue.Queue()
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._cancels: Dict[int, threading.Event] = {}
+        self._cancels_lock = threading.Lock()
+        self._active: Dict[int, int] = {}  # job_id -> worker index
+        self._counters = {"jobs_completed": 0, "jobs_failed": 0,
+                          "jobs_cancelled": 0, "cells_completed": 0,
+                          "cells_failed": 0}
+        self._counters_lock = threading.Lock()
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> Dict[str, List[int]]:
+        """Recover the store, re-queue survivors, start the workers."""
+        recovered = self.store.recover()
+        for job_id in recovered["requeued"]:
+            self._queue.put(job_id)
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, args=(index,),
+                name=f"job-worker-{index}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        if recovered["requeued"] or recovered["cancelled"]:
+            log.info("recovered store: requeued=%s cancelled=%s",
+                     recovered["requeued"], recovered["cancelled"])
+        return recovered
+
+    def shutdown(self, drain: bool = False, grace: float = 5.0) -> None:
+        """Stop the workers; running jobs drain or are cancelled.
+
+        With ``drain=True`` the manager waits up to *grace* seconds for
+        in-flight jobs to finish on their own; jobs still running after
+        that (or immediately, without drain) get their cancel event set
+        and end ``cancelled``. Queued jobs stay ``queued`` in the store
+        and run when the daemon next starts.
+        """
+        deadline = time.monotonic() + max(grace, 0.0)
+        if drain:
+            while self._active and time.monotonic() < deadline:
+                time.sleep(0.02)
+        self._stop.set()
+        with self._cancels_lock:
+            for event in self._cancels.values():
+                event.set()
+        for thread in self._threads:
+            remaining = max(deadline - time.monotonic(), 0.5)
+            thread.join(timeout=remaining)
+        self._threads = []
+
+    # -- client surface -----------------------------------------------
+
+    def submit(self, payload: Any) -> Dict[str, Any]:
+        """Validate *payload*, persist and enqueue; returns the job."""
+        spec = validate_submission(payload)
+        cells_total = len(spec_cells(spec))
+        job_id = self.store.create_job(spec, cells_total=cells_total)
+        self._queue.put(job_id)
+        log.info("job %d queued: %s seeds=%s cells=%d", job_id,
+                 spec["scenario"], spec["seeds"], cells_total)
+        return self.store.get_job(job_id)
+
+    def cancel(self, job_id: int) -> Optional[Dict[str, Any]]:
+        """Request cancellation; returns the job (None if unknown).
+
+        A queued job flips to ``cancelled`` immediately; a running one
+        is signalled and its worker marks the terminal state as soon as
+        the runner stops (pool workers are terminated, never orphaned).
+        """
+        job = self.store.get_job(job_id)
+        if job is None:
+            return None
+        with self._cancels_lock:
+            event = self._cancels.setdefault(job_id, threading.Event())
+        event.set()
+        if job["state"] == jobstore.QUEUED:
+            self.store.finish_job(job_id, jobstore.CANCELLED,
+                                  error="cancelled before start")
+        log.info("job %d cancel requested (state was %s)", job_id,
+                 job["state"])
+        return self.store.get_job(job_id)
+
+    def stats(self) -> Dict[str, Any]:
+        with self._counters_lock:
+            counters = dict(self._counters)
+        counters["active_jobs"] = len(self._active)
+        counters["queued_depth"] = self._queue.qsize()
+        counters["workers"] = self.workers
+        counters["pool_jobs_cap"] = self.pool_jobs
+        return counters
+
+    # -- worker internals ---------------------------------------------
+
+    def _count(self, key: str, delta: int = 1) -> None:
+        with self._counters_lock:
+            self._counters[key] += delta
+
+    def _cancel_event(self, job_id: int) -> threading.Event:
+        with self._cancels_lock:
+            return self._cancels.setdefault(job_id, threading.Event())
+
+    def _worker_loop(self, index: int) -> None:
+        while not self._stop.is_set():
+            try:
+                job_id = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            self._active[job_id] = index
+            try:
+                self._run_job(job_id)
+            except Exception:
+                # Orchestration bug: surface it in the job status (the
+                # ShardWorkerError convention) instead of killing the
+                # worker thread and wedging the queue.
+                self.store.finish_job(job_id, jobstore.FAILED,
+                                      error=traceback.format_exc())
+                self._count("jobs_failed")
+                log.exception("job %d orchestration failed", job_id)
+            finally:
+                self._active.pop(job_id, None)
+                with self._cancels_lock:
+                    self._cancels.pop(job_id, None)
+
+    def _run_job(self, job_id: int) -> None:
+        job = self.store.get_job(job_id)
+        if job is None or job["state"] != jobstore.QUEUED:
+            return  # cancelled (or recovered away) before we got here
+        spec = job["spec"]
+        cells = spec_cells(spec)
+        if not self.store.set_running(job_id, cells_total=len(cells)):
+            return  # lost the race with a cancel
+        started = time.monotonic()
+        deadline: Optional[float] = None
+        timeout = spec.get("timeout") or self.default_timeout
+        if timeout is not None:
+            deadline = started + timeout
+
+        cancel_event = self._cancel_event(job_id)
+
+        def should_stop() -> bool:
+            if cancel_event.is_set() or self._stop.is_set():
+                return True
+            return deadline is not None and time.monotonic() > deadline
+
+        sweep = runner.SweepRunner(
+            cells, jobs=min(spec["jobs"], self.pool_jobs))
+        results: List[runner.CellResult] = []
+        by_index: Dict[int, runner.CellResult] = {}
+        next_index = 0
+        first_error: Optional[str] = None
+        for result in sweep.stream(cancel=should_stop):
+            results.append(result)
+            by_index[result.cell.index] = result
+            if not result.ok and first_error is None:
+                first_error = (f"cell {result.cell.label()} failed:\n"
+                               f"{result.error}")
+                self._count("cells_failed")
+            elif result.ok:
+                self._count("cells_completed")
+            # Flush the completed prefix, in cell-index order — the
+            # determinism contract for streamed records.
+            while next_index in by_index:
+                done = by_index.pop(next_index)
+                if done.rows:
+                    self.store.append_records(
+                        job_id, [record_line(row) for row in done.rows])
+                next_index += 1
+            self.store.set_progress(job_id, len(results))
+
+        elapsed = time.monotonic() - started
+        if cancel_event.is_set() or \
+                (self._stop.is_set() and len(results) < len(cells)):
+            self.store.finish_job(job_id, jobstore.CANCELLED,
+                                  error=None)
+            self._count("jobs_cancelled")
+            log.info("job %d cancelled after %.2fs (%d/%d cells)",
+                     job_id, elapsed, len(results), len(cells))
+            return
+        if deadline is not None and len(results) < len(cells) and \
+                time.monotonic() > deadline:
+            self.store.finish_job(
+                job_id, jobstore.FAILED,
+                error=f"timeout: exceeded {timeout:.1f}s budget after "
+                      f"{len(results)}/{len(cells)} cells")
+            self._count("jobs_failed")
+            log.warning("job %d timed out after %.2fs", job_id, elapsed)
+            return
+
+        report = runner.SweepReport(
+            cells=sorted(results, key=lambda r: r.cell.index))
+        try:
+            summary = report.as_payload()
+            summary.pop("rows", None)  # rows live in the record store
+            self.store.set_summary(job_id, summary)
+        except Exception:
+            log.exception("job %d summary aggregation failed", job_id)
+        if first_error is not None:
+            self.store.finish_job(job_id, jobstore.FAILED,
+                                  error=first_error)
+            self._count("jobs_failed")
+            log.warning("job %d failed after %.2fs", job_id, elapsed)
+            return
+        self.store.finish_job(job_id, jobstore.COMPLETED)
+        self._count("jobs_completed")
+        log.info("job %d completed in %.2fs (%d cells, %d records)",
+                 job_id, elapsed, len(cells),
+                 self.store.record_count(job_id))

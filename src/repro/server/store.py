@@ -1,0 +1,264 @@
+"""Durable job + record store: SQLite behind the serve daemon.
+
+One database file holds everything the daemon must not lose across
+restarts: the job table (submission spec, state machine, progress,
+error tracebacks), every streamed record row (as its canonical JSON
+line — see :func:`repro.metrics.report.record_line`), and the
+aggregated summary artifact of each completed job.
+
+Concurrency model: the daemon is one process with a handful of threads
+(HTTP handlers + job workers), so a single shared connection guarded
+by one lock is simpler and faster than a connection pool; WAL mode
+keeps readers unblocked during worker appends. Record appends are
+batched per completed cell inside one transaction.
+
+State machine::
+
+    queued -> running -> completed
+                      -> failed      (cell error, timeout, crash)
+                      -> cancelled   (client cancel, daemon shutdown)
+    queued -> cancelled              (cancelled before a worker took it)
+
+``recover()`` runs once at daemon startup: jobs a previous process
+left ``running`` are marked ``cancelled`` (their partial records are
+kept — offsets stay valid), and ``queued`` jobs are re-queued.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+#: Job states (the full vocabulary; nothing else ever enters the DB).
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETED = "completed"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+STATES = (QUEUED, RUNNING, COMPLETED, FAILED, CANCELLED)
+
+#: States a job can never leave.
+TERMINAL = (COMPLETED, FAILED, CANCELLED)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    spec        TEXT NOT NULL,
+    state       TEXT NOT NULL,
+    error       TEXT,
+    cells_total INTEGER NOT NULL DEFAULT 0,
+    cells_done  INTEGER NOT NULL DEFAULT 0,
+    created_at  REAL NOT NULL,
+    started_at  REAL,
+    finished_at REAL
+);
+CREATE TABLE IF NOT EXISTS records (
+    job_id INTEGER NOT NULL,
+    seq    INTEGER NOT NULL,
+    line   TEXT NOT NULL,
+    PRIMARY KEY (job_id, seq)
+) WITHOUT ROWID;
+CREATE TABLE IF NOT EXISTS summaries (
+    job_id  INTEGER PRIMARY KEY,
+    payload TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state);
+"""
+
+
+class StoreError(RuntimeError):
+    """A store operation that violates the job state machine."""
+
+
+class Store:
+    """The daemon's durable state: jobs, record lines, summaries."""
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+        if path != ":memory:":
+            parent = os.path.dirname(os.path.abspath(path))
+            os.makedirs(parent, exist_ok=True)
+        # One connection shared across daemon threads; every access
+        # takes self._lock, so check_same_thread would only add noise.
+        self._db = sqlite3.connect(path, check_same_thread=False)
+        self._db.row_factory = sqlite3.Row
+        self._lock = threading.Lock()
+        with self._lock:
+            self._db.executescript(_SCHEMA)
+            if path != ":memory:":
+                self._db.execute("PRAGMA journal_mode=WAL")
+            self._db.commit()
+
+    def close(self) -> None:
+        with self._lock:
+            self._db.close()
+
+    # -- job lifecycle ------------------------------------------------
+
+    def create_job(self, spec: Dict[str, Any],
+                   cells_total: int = 0) -> int:
+        """File a new job in ``queued`` state; returns its id."""
+        with self._lock:
+            cursor = self._db.execute(
+                "INSERT INTO jobs (spec, state, cells_total, created_at)"
+                " VALUES (?, ?, ?, ?)",
+                (json.dumps(spec, sort_keys=True), QUEUED, cells_total,
+                 time.time()))
+            self._db.commit()
+            return int(cursor.lastrowid)
+
+    def get_job(self, job_id: int) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            row = self._db.execute(
+                "SELECT j.*, (SELECT COUNT(*) FROM records r"
+                "             WHERE r.job_id = j.id) AS record_count"
+                " FROM jobs j WHERE j.id = ?", (job_id,)).fetchone()
+        return self._job_dict(row) if row is not None else None
+
+    def list_jobs(self, state: Optional[str] = None,
+                  limit: int = 100) -> List[Dict[str, Any]]:
+        """Job history, newest first, optionally filtered by state."""
+        query = ("SELECT j.*, (SELECT COUNT(*) FROM records r"
+                 "             WHERE r.job_id = j.id) AS record_count"
+                 " FROM jobs j")
+        args: tuple = ()
+        if state is not None:
+            query += " WHERE j.state = ?"
+            args = (state,)
+        query += " ORDER BY j.id DESC LIMIT ?"
+        with self._lock:
+            rows = self._db.execute(query, args + (limit,)).fetchall()
+        return [self._job_dict(row) for row in rows]
+
+    def set_running(self, job_id: int, cells_total: int) -> bool:
+        """queued -> running (False if the job was cancelled first)."""
+        with self._lock:
+            cursor = self._db.execute(
+                "UPDATE jobs SET state = ?, cells_total = ?, "
+                "started_at = ? WHERE id = ? AND state = ?",
+                (RUNNING, cells_total, time.time(), job_id, QUEUED))
+            self._db.commit()
+            return cursor.rowcount == 1
+
+    def set_progress(self, job_id: int, cells_done: int) -> None:
+        with self._lock:
+            self._db.execute(
+                "UPDATE jobs SET cells_done = ? WHERE id = ?",
+                (cells_done, job_id))
+            self._db.commit()
+
+    def finish_job(self, job_id: int, state: str,
+                   error: Optional[str] = None) -> None:
+        """running|queued -> a terminal state (idempotent once there)."""
+        if state not in TERMINAL:
+            raise StoreError(f"not a terminal state: {state!r}")
+        with self._lock:
+            self._db.execute(
+                "UPDATE jobs SET state = ?, error = ?, finished_at = ?"
+                " WHERE id = ? AND state NOT IN (?, ?, ?)",
+                (state, error, time.time(), job_id) + TERMINAL)
+            self._db.commit()
+
+    def recover(self) -> Dict[str, List[int]]:
+        """Startup pass over a reopened database.
+
+        Jobs a dead daemon left ``running`` are closed out as
+        ``cancelled`` (partial records kept); ``queued`` jobs are
+        returned for re-submission to the fresh queue.
+        """
+        with self._lock:
+            running = [int(r["id"]) for r in self._db.execute(
+                "SELECT id FROM jobs WHERE state = ?", (RUNNING,))]
+            self._db.execute(
+                "UPDATE jobs SET state = ?, error = ?, finished_at = ?"
+                " WHERE state = ?",
+                (CANCELLED, "daemon stopped mid-job", time.time(),
+                 RUNNING))
+            queued = [int(r["id"]) for r in self._db.execute(
+                "SELECT id FROM jobs WHERE state = ? ORDER BY id",
+                (QUEUED,))]
+            self._db.commit()
+        return {"requeued": queued, "cancelled": running}
+
+    # -- record streaming ---------------------------------------------
+
+    def append_records(self, job_id: int, lines: List[str]) -> int:
+        """Append canonical record *lines*; returns the new count.
+
+        Lines are already serialized by
+        :func:`repro.metrics.report.record_line` — the store never
+        re-encodes them, so fetches return the exact submitted bytes.
+        """
+        with self._lock:
+            row = self._db.execute(
+                "SELECT COALESCE(MAX(seq) + 1, 0) AS next FROM records"
+                " WHERE job_id = ?", (job_id,)).fetchone()
+            base = int(row["next"])
+            self._db.executemany(
+                "INSERT INTO records (job_id, seq, line) VALUES (?,?,?)",
+                [(job_id, base + i, line)
+                 for i, line in enumerate(lines)])
+            self._db.commit()
+            return base + len(lines)
+
+    def fetch_records(self, job_id: int, offset: int = 0,
+                      limit: Optional[int] = None) -> List[str]:
+        """Record lines from *offset* on, in append (= cell) order."""
+        query = ("SELECT line FROM records WHERE job_id = ? AND seq >= ?"
+                 " ORDER BY seq")
+        args: tuple = (job_id, offset)
+        if limit is not None:
+            query += " LIMIT ?"
+            args += (limit,)
+        with self._lock:
+            return [r["line"] for r in self._db.execute(query, args)]
+
+    def record_count(self, job_id: int) -> int:
+        with self._lock:
+            row = self._db.execute(
+                "SELECT COUNT(*) AS n FROM records WHERE job_id = ?",
+                (job_id,)).fetchone()
+            return int(row["n"])
+
+    # -- summaries ----------------------------------------------------
+
+    def set_summary(self, job_id: int, payload: Dict[str, Any]) -> None:
+        with self._lock:
+            self._db.execute(
+                "INSERT OR REPLACE INTO summaries (job_id, payload)"
+                " VALUES (?, ?)",
+                (job_id, json.dumps(payload, sort_keys=True)))
+            self._db.commit()
+
+    def get_summary(self, job_id: int) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            row = self._db.execute(
+                "SELECT payload FROM summaries WHERE job_id = ?",
+                (job_id,)).fetchone()
+        return json.loads(row["payload"]) if row is not None else None
+
+    # -- stats --------------------------------------------------------
+
+    def job_counts(self) -> Dict[str, int]:
+        """Jobs per state (zero-filled), for ``GET /v1/stats``."""
+        with self._lock:
+            rows = self._db.execute(
+                "SELECT state, COUNT(*) AS n FROM jobs"
+                " GROUP BY state").fetchall()
+        counts = {state: 0 for state in STATES}
+        counts.update({row["state"]: int(row["n"]) for row in rows})
+        return counts
+
+    # -- helpers ------------------------------------------------------
+
+    @staticmethod
+    def _job_dict(row: sqlite3.Row) -> Dict[str, Any]:
+        out = {key: row[key] for key in row.keys()}
+        out["id"] = int(out["id"])
+        out["spec"] = json.loads(out["spec"])
+        return out

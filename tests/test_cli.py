@@ -31,7 +31,8 @@ class TestParser:
         parser = build_parser()
         subactions = next(a for a in parser._actions
                           if hasattr(a, "choices") and a.choices)
-        assert set(subactions.choices) == set(registry.names()) | {"sweep"}
+        assert set(subactions.choices) == \
+            set(registry.names()) | {"sweep", "serve"}
 
     def test_eight_experiments_registered(self):
         assert set(registry.names()) >= {
@@ -122,6 +123,22 @@ class TestSweepCommand:
         assert code == 0
         assert "sweep — proxy" in out
         assert json_path.exists() and csv_path.exists()
+
+    def test_sweep_jsonl_is_canonical(self, capsys, tmp_path):
+        # --jsonl writes the serve daemon's canonical record encoding:
+        # sorted keys, compact separators, one row per line
+        jsonl_path = tmp_path / "rows.jsonl"
+        code = main(["sweep", "proxy", "--seeds", "0",
+                     "--set", "rows=2", "--set", "cols=2",
+                     "--set", "rounds=1", "--jsonl", str(jsonl_path)])
+        capsys.readouterr()
+        assert code == 0
+        import json
+        from repro.metrics.report import record_line
+        lines = jsonl_path.read_text().splitlines()
+        assert lines
+        for line in lines:
+            assert record_line(json.loads(line)) == line
 
     def test_sweep_unknown_scenario_exits_cleanly(self):
         with pytest.raises(SystemExit, match="nonesuch"):

@@ -54,3 +54,15 @@ class TestExamples:
         out = run_example("packet_capture.py", capsys)
         assert "wrote" in out and "arppath_race.pcap" in out
         assert (tmp_path / "arppath_race.pcap").exists()
+
+    def test_serve_client(self, capsys, monkeypatch):
+        # boots an in-process daemon on an ephemeral port, submits a
+        # churn grid over HTTP and streams the records back
+        monkeypatch.setattr(sys, "argv", ["serve_client.py"])
+        with pytest.raises(SystemExit) as excinfo:
+            run_example("serve_client.py", capsys)
+        assert excinfo.value.code in (None, 0)
+        out = capsys.readouterr().out
+        assert "scenarios on offer" in out
+        assert "job ended completed" in out
+        assert "daemon stopped cleanly" in out

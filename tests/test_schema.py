@@ -1,0 +1,220 @@
+"""Registry JSON-schema export: spec -> schema -> validated submission.
+
+The serve daemon's API surface is generated from the same ``Param``
+specs the CLI parses; these tests pin the round trip for every
+registered scenario — a scenario added tomorrow is covered here
+automatically.
+"""
+
+import copy
+
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.registry import Param, SubmissionError
+from repro.server import jobs
+
+
+def all_scenarios():
+    registry.load_all()
+    return registry.all_scenarios()
+
+
+class TestParamSchema:
+    def test_scalar_types_map_to_json_types(self):
+        assert Param("n", int, 3).schema()["type"] == "integer"
+        assert Param("x", float, 0.5).schema()["type"] == "number"
+        assert Param("s", str, "a").schema()["type"] == "string"
+
+    def test_list_param_becomes_nonempty_array(self):
+        schema = Param("sizes", int, [16, 36], nargs="+").schema()
+        assert schema["type"] == "array"
+        assert schema["items"] == {"type": "integer"}
+        assert schema["minItems"] == 1
+        assert schema["default"] == [16, 36]
+
+    def test_choices_become_enum(self):
+        schema = Param("kind", str, "grid",
+                       choices=("grid", "ring")).schema()
+        assert schema["enum"] == ["grid", "ring"]
+
+    def test_null_default_widens_type(self):
+        schema = Param("stp_scale", float, None).schema()
+        assert {"type": "null"} in schema["anyOf"]
+        assert schema["default"] is None
+
+    def test_help_becomes_description(self):
+        schema = Param("n", int, 1, help="how many").schema()
+        assert schema["description"] == "how many"
+
+    def test_default_is_a_copy(self):
+        param = Param("sizes", int, [16], nargs="+")
+        param.schema()["default"].append(99)
+        assert param.default == [16]
+
+
+class TestParamValidate:
+    def test_coerces_int_to_float_for_number_params(self):
+        assert Param("x", float, 0.5).validate(2) == 2.0
+        assert isinstance(Param("x", float, 0.5).validate(2), float)
+
+    def test_rejects_bool_for_integer(self):
+        with pytest.raises(SubmissionError):
+            Param("n", int, 1).validate(True)
+
+    def test_rejects_wrong_scalar_type(self):
+        with pytest.raises(SubmissionError) as excinfo:
+            Param("n", int, 1).validate("five")
+        assert "expected integer" in str(excinfo.value)
+
+    def test_rejects_off_enum_value(self):
+        param = Param("kind", str, "grid", choices=("grid", "ring"))
+        with pytest.raises(SubmissionError):
+            param.validate("torus")
+
+    def test_null_only_when_default_is_null(self):
+        assert Param("x", float, None).validate(None) is None
+        with pytest.raises(SubmissionError):
+            Param("x", float, 0.5).validate(None)
+
+    def test_list_param_requires_nonempty_array(self):
+        param = Param("sizes", int, [16], nargs="+")
+        assert param.validate([9, 16]) == [9, 16]
+        with pytest.raises(SubmissionError):
+            param.validate(9)
+        with pytest.raises(SubmissionError):
+            param.validate([])
+
+    def test_error_names_the_field_path(self):
+        param = Param("sizes", int, [16], nargs="+")
+        with pytest.raises(SubmissionError) as excinfo:
+            param.validate([16, "x"], "set.sizes[0]")
+        assert excinfo.value.field == "set.sizes[0][1]"
+
+
+class TestScenarioSchemaRoundTrip:
+    """spec -> schema -> validated submission, for every scenario."""
+
+    @pytest.mark.parametrize("scenario", all_scenarios(),
+                             ids=lambda s: s.name)
+    def test_schema_covers_every_param(self, scenario):
+        schema = scenario.schema()
+        assert schema["type"] == "object"
+        assert schema["additionalProperties"] is False
+        assert set(schema["properties"]) == \
+            {p.name for p in scenario.params}
+        assert schema["required"] == []  # every param has a default
+
+    @pytest.mark.parametrize("scenario", all_scenarios(),
+                             ids=lambda s: s.name)
+    def test_defaults_round_trip_through_validation(self, scenario):
+        # Submitting exactly the schema's advertised defaults must
+        # validate and bind to the same values the CLI would run with.
+        defaults = {name: prop["default"]
+                    for name, prop
+                    in scenario.schema()["properties"].items()}
+        validated = scenario.validate_submission(
+            copy.deepcopy(defaults))
+        bound = scenario.bind(validated)
+        assert bound == scenario.defaults()
+
+    @pytest.mark.parametrize("scenario", all_scenarios(),
+                             ids=lambda s: s.name)
+    def test_smoke_params_round_trip(self, scenario):
+        validated = scenario.validate_submission(
+            copy.deepcopy(scenario.smoke))
+        assert scenario.bind(validated)  # must not raise
+
+    @pytest.mark.parametrize("scenario", all_scenarios(),
+                             ids=lambda s: s.name)
+    def test_choices_enforced_through_submission(self, scenario):
+        for param in scenario.params:
+            if param.choices is None:
+                continue
+            bogus = "definitely-not-a-choice"
+            value = [bogus] if param.is_list else bogus
+            with pytest.raises(SubmissionError):
+                scenario.validate_submission({param.name: value})
+
+    def test_unknown_param_names_scenario_and_field(self):
+        scenario = registry.get("scale")
+        with pytest.raises(SubmissionError) as excinfo:
+            scenario.validate_submission({"bogus": 1})
+        assert excinfo.value.field == "bogus"
+        assert "scale" in excinfo.value.reason
+
+
+class TestRegistrySchema:
+    def test_schema_lists_every_scenario_in_order(self):
+        payload = registry.schema()
+        assert [s["title"] for s in payload["scenarios"]] == \
+            registry.names()
+
+    def test_submission_schema_requires_scenario_only(self):
+        schema = registry.submission_schema()
+        assert schema["required"] == ["scenario"]
+        assert schema["properties"]["scenario"]["enum"] == \
+            registry.names()
+        assert schema["additionalProperties"] is False
+
+
+class TestJobSubmissionRoundTrip:
+    """The full envelope: every scenario submits through jobs.py."""
+
+    @pytest.mark.parametrize("scenario", all_scenarios(),
+                             ids=lambda s: s.name)
+    def test_envelope_round_trips_to_cells(self, scenario):
+        # One sweep axis per scenario: its first sweepable param, at
+        # its default (or first choice); grid must expand and bind.
+        axis = next((p for p in scenario.params
+                     if p.sweep and p.name != "seeds"), None)
+        spec = {"scenario": scenario.name, "seeds": [0, 1]}
+        if axis is not None:
+            value = (axis.choices[0] if axis.choices is not None
+                     else (axis.default[0] if axis.is_list
+                           else axis.default))
+            if value is not None:
+                spec["set"] = {axis.name: [value]}
+        validated = jobs.validate_submission(spec)
+        assert validated["scenario"] == scenario.name
+        cells = jobs.spec_cells(validated)
+        assert len(cells) == 2  # one per seed
+        for cell in cells:
+            assert scenario.bind(cell.params())  # must not raise
+
+    def test_scalar_axis_value_shapes_like_cli_set(self):
+        # `--set protocols=arppath` runs each family as a singleton
+        # list; the JSON envelope must shape identically.
+        spec = jobs.validate_submission(
+            {"scenario": "scale", "set": {"protocols": ["arppath"]}})
+        cells = jobs.spec_cells(spec)
+        assert cells[0].params()["protocols"] == ["arppath"]
+
+    def test_seeds_cannot_be_an_axis(self):
+        with pytest.raises(SubmissionError):
+            jobs.validate_submission(
+                {"scenario": "scale", "set": {"seeds": [[0]]}})
+
+    def test_unknown_envelope_field_rejected(self):
+        with pytest.raises(SubmissionError) as excinfo:
+            jobs.validate_submission({"scenario": "scale",
+                                      "priority": 9})
+        assert excinfo.value.field == "priority"
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SubmissionError):
+            jobs.validate_submission({"scenario": "nonesuch"})
+
+    def test_missing_scenario_rejected(self):
+        with pytest.raises(SubmissionError):
+            jobs.validate_submission({})
+
+    def test_jobs_and_timeout_validation(self):
+        with pytest.raises(SubmissionError):
+            jobs.validate_submission({"scenario": "ping", "jobs": 0})
+        with pytest.raises(SubmissionError):
+            jobs.validate_submission({"scenario": "ping",
+                                      "timeout": -1})
+        spec = jobs.validate_submission({"scenario": "ping",
+                                         "timeout": 30})
+        assert spec["timeout"] == 30.0

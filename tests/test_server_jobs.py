@@ -1,0 +1,227 @@
+"""JobManager: queue workers, determinism, cancel/timeout/crash paths.
+
+These run the real scenario grids (tiny ones) through the real
+SweepRunner — no mocks — so the determinism contract asserted here is
+the one the HTTP API exposes.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments import registry, runner
+from repro.metrics.report import record_line
+from repro.server import jobs as jobs_mod
+from repro.server import store as store_mod
+from repro.server.jobs import JobManager
+from repro.server.store import Store
+
+registry.load_all()
+
+#: Small, fast grid used by most tests: 2 seeds x 1 cell each.
+SCALE_SPEC = {"scenario": "scale", "seeds": [0, 1],
+              "set": {"sizes": [9], "protocols": ["arppath"],
+                      "pairs": [1], "probes": [1]}}
+
+#: Deterministically failing grid: the learning bridge refuses loopy
+#: topologies, so this cell raises inside the worker.
+FAILING_SPEC = {"scenario": "churn", "seeds": [0],
+                "set": {"topology": ["demo"], "protocols": ["learning"],
+                        "duration": [1]}}
+
+
+def wait_terminal(store, job_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        job = store.get_job(job_id)
+        if job["state"] in store_mod.TERMINAL:
+            return job
+        time.sleep(0.02)
+    raise AssertionError(
+        f"job {job_id} not terminal after {timeout}s: "
+        f"{store.get_job(job_id)}")
+
+
+@pytest.fixture
+def manager():
+    store = Store(":memory:")
+    mgr = JobManager(store, workers=2, pool_jobs=1)
+    mgr.start()
+    yield mgr
+    mgr.shutdown()
+    store.close()
+
+
+class TestHappyPath:
+    def test_job_completes_with_records_and_summary(self, manager):
+        job = manager.submit(SCALE_SPEC)
+        assert job["state"] == store_mod.QUEUED
+        assert job["cells_total"] == 2
+        done = wait_terminal(manager.store, job["id"])
+        assert done["state"] == store_mod.COMPLETED
+        assert done["cells_done"] == 2
+        assert done["record_count"] > 0
+        summary = manager.store.get_summary(job["id"])
+        assert summary is not None
+        assert "rows" not in summary  # rows live in the record store
+        assert summary["summary"]
+
+    def test_records_byte_identical_to_direct_sweep(self, manager):
+        # The acceptance criterion: the stored record stream equals an
+        # in-process SweepRunner run of the same grid, byte for byte.
+        job = manager.submit(SCALE_SPEC)
+        wait_terminal(manager.store, job["id"])
+        stored = manager.store.fetch_records(job["id"])
+
+        spec = jobs_mod.validate_submission(SCALE_SPEC)
+        cells = jobs_mod.spec_cells(spec)
+        report = runner.SweepReport(cells=sorted(
+            runner.SweepRunner(cells, jobs=1).stream(),
+            key=lambda r: r.cell.index))
+        direct = [record_line(row) for row in report.rows()]
+        assert stored == direct
+
+    def test_concurrent_jobs_do_not_mix_records(self, manager):
+        first = manager.submit(SCALE_SPEC)
+        second = manager.submit(dict(SCALE_SPEC, seeds=[2]))
+        wait_terminal(manager.store, first["id"])
+        wait_terminal(manager.store, second["id"])
+        seeds_a = {line.rsplit(":", 1)[-1]
+                   for line in manager.store.fetch_records(first["id"])}
+        assert manager.store.record_count(second["id"]) > 0
+        assert seeds_a  # sanity: records landed under the right job
+
+    def test_invalid_submission_never_creates_a_job(self, manager):
+        with pytest.raises(registry.SubmissionError):
+            manager.submit({"scenario": "scale", "set": {"bogus": [1]}})
+        assert manager.store.list_jobs() == []
+
+
+class TestFailureSurfacing:
+    def test_cell_crash_marks_job_failed_with_traceback(self, manager):
+        job = manager.submit(FAILING_SPEC)
+        done = wait_terminal(manager.store, job["id"])
+        assert done["state"] == store_mod.FAILED
+        assert "cell " in done["error"]
+        assert "Traceback" in done["error"]
+        assert "ValueError" in done["error"]
+
+    def test_failed_job_does_not_wedge_the_queue(self, manager):
+        bad = manager.submit(FAILING_SPEC)
+        good = manager.submit(SCALE_SPEC)
+        assert wait_terminal(manager.store, bad["id"])["state"] == \
+            store_mod.FAILED
+        assert wait_terminal(manager.store, good["id"])["state"] == \
+            store_mod.COMPLETED
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self):
+        store = Store(":memory:")
+        # No workers running: the job stays queued until cancelled.
+        mgr = JobManager(store, workers=1, pool_jobs=1)
+        try:
+            job = mgr.submit(SCALE_SPEC)
+            cancelled = mgr.cancel(job["id"])
+            assert cancelled["state"] == store_mod.CANCELLED
+            assert "before start" in cancelled["error"]
+        finally:
+            mgr.shutdown()
+            store.close()
+
+    def test_cancelled_queued_job_is_skipped_by_workers(self):
+        store = Store(":memory:")
+        mgr = JobManager(store, workers=1, pool_jobs=1)
+        try:
+            job = mgr.submit(SCALE_SPEC)
+            mgr.cancel(job["id"])
+            mgr.start()  # workers now drain the queue
+            time.sleep(0.3)
+            assert store.get_job(job["id"])["state"] == \
+                store_mod.CANCELLED
+            assert store.record_count(job["id"]) == 0
+        finally:
+            mgr.shutdown()
+            store.close()
+
+    def test_cancel_running_job(self, manager):
+        # A long grid: many ~0.1s cells, cancelled after the first few.
+        spec = {"scenario": "churn", "seeds": list(range(40)),
+                "set": {"duration": [120], "protocols": ["arppath"]}}
+        job = manager.submit(spec)
+        deadline = time.monotonic() + 30
+        while manager.store.get_job(job["id"])["state"] == \
+                store_mod.QUEUED and time.monotonic() < deadline:
+            time.sleep(0.01)
+        manager.cancel(job["id"])
+        done = wait_terminal(manager.store, job["id"])
+        assert done["state"] == store_mod.CANCELLED
+        assert done["cells_done"] < done["cells_total"]
+
+    def test_cancel_unknown_job_returns_none(self, manager):
+        assert manager.cancel(12345) is None
+
+
+class TestTimeout:
+    def test_job_timeout_marks_failed(self, manager):
+        # 40 cells of ~0.1s each against a 0.2s budget: the deadline
+        # trips long before the grid can finish.
+        spec = {"scenario": "churn", "seeds": list(range(40)),
+                "set": {"duration": [120], "protocols": ["arppath"]},
+                "timeout": 0.2}
+        job = manager.submit(spec)
+        done = wait_terminal(manager.store, job["id"])
+        assert done["state"] == store_mod.FAILED
+        assert "timeout" in done["error"]
+        assert "budget" in done["error"]
+        assert done["cells_done"] < done["cells_total"]
+
+
+class TestShutdownAndRecovery:
+    def test_shutdown_cancels_running_jobs(self):
+        store = Store(":memory:")
+        mgr = JobManager(store, workers=1, pool_jobs=1)
+        mgr.start()
+        spec = {"scenario": "churn", "seeds": list(range(40)),
+                "set": {"duration": [120], "protocols": ["arppath"]}}
+        job = mgr.submit(spec)
+        deadline = time.monotonic() + 30
+        while store.get_job(job["id"])["state"] == store_mod.QUEUED \
+                and time.monotonic() < deadline:
+            time.sleep(0.01)
+        mgr.shutdown(drain=False, grace=10.0)
+        final = store.get_job(job["id"])
+        assert final["state"] == store_mod.CANCELLED
+        store.close()
+
+    def test_restart_requeues_queued_jobs(self, tmp_path):
+        db = str(tmp_path / "jobs.db")
+        store = Store(db)
+        # Workers never started: the submission stays queued on disk.
+        mgr = JobManager(store, workers=1, pool_jobs=1)
+        job = mgr.submit(SCALE_SPEC)
+        store.close()
+
+        store = Store(db)
+        mgr = JobManager(store, workers=1, pool_jobs=1)
+        try:
+            recovered = mgr.start()
+            assert recovered["requeued"] == [job["id"]]
+            done = wait_terminal(store, job["id"])
+            assert done["state"] == store_mod.COMPLETED
+        finally:
+            mgr.shutdown()
+            store.close()
+
+    def test_stats_counters(self, manager):
+        job = manager.submit(SCALE_SPEC)
+        wait_terminal(manager.store, job["id"])
+        # worker bookkeeping (counter bump) may trail the DB write
+        deadline = time.monotonic() + 5
+        while manager.stats()["jobs_completed"] < 1 and \
+                time.monotonic() < deadline:
+            time.sleep(0.02)
+        stats = manager.stats()
+        assert stats["jobs_completed"] >= 1
+        assert stats["cells_completed"] >= 2
+        assert stats["workers"] == 2

@@ -1,0 +1,200 @@
+"""SQLite job/result store: CRUD, guards, durability, recovery."""
+
+import threading
+
+import pytest
+
+from repro.server import store as store_mod
+from repro.server.store import Store
+
+
+@pytest.fixture
+def store():
+    s = Store(":memory:")
+    yield s
+    s.close()
+
+
+SPEC = {"scenario": "ping", "seeds": [0], "set": {}, "jobs": 1,
+        "timeout": None}
+
+
+class TestJobLifecycle:
+    def test_create_starts_queued(self, store):
+        job_id = store.create_job(SPEC, cells_total=4)
+        job = store.get_job(job_id)
+        assert job["state"] == store_mod.QUEUED
+        assert job["spec"] == SPEC
+        assert job["cells_total"] == 4
+        assert job["cells_done"] == 0
+        assert job["record_count"] == 0
+        assert job["error"] is None
+
+    def test_ids_are_sequential(self, store):
+        assert store.create_job(SPEC, 1) == 1
+        assert store.create_job(SPEC, 1) == 2
+
+    def test_get_missing_job_is_none(self, store):
+        assert store.get_job(99) is None
+
+    def test_set_running_is_guarded(self, store):
+        job_id = store.create_job(SPEC, 1)
+        assert store.set_running(job_id, cells_total=1) is True
+        # second claim loses the race
+        assert store.set_running(job_id, cells_total=1) is False
+        assert store.get_job(job_id)["state"] == store_mod.RUNNING
+
+    def test_cannot_start_a_terminal_job(self, store):
+        job_id = store.create_job(SPEC, 1)
+        store.finish_job(job_id, store_mod.CANCELLED)
+        assert store.set_running(job_id, cells_total=1) is False
+
+    def test_finish_is_write_once(self, store):
+        job_id = store.create_job(SPEC, 1)
+        store.set_running(job_id, cells_total=1)
+        store.finish_job(job_id, store_mod.COMPLETED)
+        # a late cancel must not overwrite the completed state
+        store.finish_job(job_id, store_mod.CANCELLED)
+        assert store.get_job(job_id)["state"] == store_mod.COMPLETED
+
+    def test_finish_rejects_non_terminal_state(self, store):
+        job_id = store.create_job(SPEC, 1)
+        with pytest.raises(store_mod.StoreError):
+            store.finish_job(job_id, store_mod.RUNNING)
+
+    def test_finish_records_error_text(self, store):
+        job_id = store.create_job(SPEC, 1)
+        store.set_running(job_id, cells_total=1)
+        store.finish_job(job_id, store_mod.FAILED, error="boom\ntrace")
+        job = store.get_job(job_id)
+        assert job["state"] == store_mod.FAILED
+        assert job["error"] == "boom\ntrace"
+
+    def test_progress_counter(self, store):
+        job_id = store.create_job(SPEC, 3)
+        store.set_progress(job_id, 2)
+        assert store.get_job(job_id)["cells_done"] == 2
+
+    def test_list_jobs_newest_first_with_filters(self, store):
+        first = store.create_job(SPEC, 1)
+        second = store.create_job(SPEC, 1)
+        store.set_running(first, cells_total=1)
+        store.finish_job(first, store_mod.COMPLETED)
+        assert [j["id"] for j in store.list_jobs()] == [second, first]
+        done = store.list_jobs(state=store_mod.COMPLETED)
+        assert [j["id"] for j in done] == [first]
+        assert len(store.list_jobs(limit=1)) == 1
+
+    def test_job_counts_zero_filled(self, store):
+        counts = store.job_counts()
+        assert set(counts) == set(store_mod.STATES)
+        assert all(n == 0 for n in counts.values())
+        store.create_job(SPEC, 1)
+        assert store.job_counts()[store_mod.QUEUED] == 1
+
+
+class TestRecords:
+    def test_append_and_fetch_preserve_order(self, store):
+        job_id = store.create_job(SPEC, 1)
+        store.append_records(job_id, ['{"a":1}', '{"b":2}'])
+        store.append_records(job_id, ['{"c":3}'])
+        assert store.fetch_records(job_id) == \
+            ['{"a":1}', '{"b":2}', '{"c":3}']
+        assert store.record_count(job_id) == 3
+
+    def test_offset_and_limit(self, store):
+        job_id = store.create_job(SPEC, 1)
+        store.append_records(job_id, [f'{{"i":{i}}}' for i in range(5)])
+        assert store.fetch_records(job_id, offset=3) == \
+            ['{"i":3}', '{"i":4}']
+        assert store.fetch_records(job_id, offset=1, limit=2) == \
+            ['{"i":1}', '{"i":2}']
+        assert store.fetch_records(job_id, offset=99) == []
+
+    def test_records_are_per_job(self, store):
+        a = store.create_job(SPEC, 1)
+        b = store.create_job(SPEC, 1)
+        store.append_records(a, ['{"job":"a"}'])
+        store.append_records(b, ['{"job":"b"}'])
+        assert store.fetch_records(a) == ['{"job":"a"}']
+        assert store.fetch_records(b) == ['{"job":"b"}']
+
+
+class TestSummary:
+    def test_summary_round_trips(self, store):
+        job_id = store.create_job(SPEC, 1)
+        assert store.get_summary(job_id) is None
+        payload = {"summary": [{"scenario": "ping", "mean": 1.0}],
+                   "errors": []}
+        store.set_summary(job_id, payload)
+        assert store.get_summary(job_id) == payload
+
+
+class TestDurability:
+    def test_everything_survives_reopen(self, tmp_path):
+        db = str(tmp_path / "jobs.db")
+        first = Store(db)
+        job_id = first.create_job(SPEC, 2)
+        first.set_running(job_id, cells_total=2)
+        first.append_records(job_id, ['{"seed":0}', '{"seed":1}'])
+        first.set_progress(job_id, 2)
+        first.finish_job(job_id, store_mod.COMPLETED)
+        first.set_summary(job_id, {"summary": []})
+        first.close()
+
+        second = Store(db)
+        try:
+            job = second.get_job(job_id)
+            assert job["state"] == store_mod.COMPLETED
+            assert job["cells_done"] == 2
+            assert job["record_count"] == 2
+            assert second.fetch_records(job_id) == \
+                ['{"seed":0}', '{"seed":1}']
+            assert second.get_summary(job_id) == {"summary": []}
+        finally:
+            second.close()
+
+    def test_recover_cancels_running_and_requeues_queued(self, tmp_path):
+        db = str(tmp_path / "jobs.db")
+        first = Store(db)
+        interrupted = first.create_job(SPEC, 2)
+        first.set_running(interrupted, cells_total=2)
+        first.append_records(interrupted, ['{"seed":0}'])
+        waiting = first.create_job(SPEC, 1)
+        first.close()  # daemon dies here
+
+        second = Store(db)
+        try:
+            outcome = second.recover()
+            assert outcome["requeued"] == [waiting]
+            assert outcome["cancelled"] == [interrupted]
+            job = second.get_job(interrupted)
+            assert job["state"] == store_mod.CANCELLED
+            assert "daemon stopped" in job["error"]
+            # partial records are kept, not rolled back
+            assert second.fetch_records(interrupted) == ['{"seed":0}']
+        finally:
+            second.close()
+
+
+class TestConcurrency:
+    def test_parallel_appends_do_not_interleave_within_a_batch(self,
+                                                               store):
+        job_id = store.create_job(SPEC, 1)
+        batches = [[f'{{"w":{w},"i":{i}}}' for i in range(20)]
+                   for w in range(4)]
+        threads = [threading.Thread(
+            target=store.append_records, args=(job_id, batch))
+            for batch in batches]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        lines = store.fetch_records(job_id)
+        assert len(lines) == 80
+        # each batch must occupy one contiguous seq range
+        import json
+        owners = [json.loads(line)["w"] for line in lines]
+        for w in range(4):
+            span = [i for i, owner in enumerate(owners) if owner == w]
+            assert span == list(range(span[0], span[0] + 20))
