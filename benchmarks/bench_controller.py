@@ -1,0 +1,116 @@
+"""EXP-C1 bench: controller round-trip repair vs ARP-Path in-band.
+
+The centralized baseline's repair cost is structural: a cut detected
+at the dataplane must travel to the controller, clear the barriered
+FLOW_REMOVEs and come back as FLOW_INSTALLs — exactly
+``2 x rtt + install_latency`` of control-channel latency per repair
+(see docs/ARCHITECTURE.md §9). ARP-Path repairs in-band at dataplane
+propagation speed. This bench replays the Fig. 3 scripted cuts under
+both families and records the gap.
+
+Everything recorded here is *simulated* time — deterministic, not
+wall-clock — so ``check_regression.py`` guards these figures with the
+tight efficiency ceiling, not the bench-noise tolerance.
+
+Run with ``pytest benchmarks/bench_controller.py --benchmark-only -s``.
+
+``python benchmarks/bench_controller.py`` re-measures and rewrites
+``benchmarks/BENCH_controller.json``.
+"""
+
+from conftest import banner, run_once
+
+from repro.experiments import fig3_repair
+from repro.experiments.common import spec
+from repro.metrics.report import format_table
+from repro.switching.controller import ControllerConfig
+
+FAILURES = 2
+SEED = 0
+
+#: The pinned per-repair control-plane latency at default config.
+_DEFAULT = ControllerConfig()
+PINNED_REPAIR_S = 2 * _DEFAULT.rtt + _DEFAULT.install_latency
+
+
+def measure() -> dict:
+    """Fig. 3 scripted cuts under both families; simulated-time figures."""
+    arp = fig3_repair.run_protocol(spec("arppath"), failures=FAILURES,
+                                   seed=SEED)
+    ctl = fig3_repair.run_protocol(spec("controller"), failures=FAILURES,
+                                   seed=SEED)
+    out = {}
+    for label, row in (("arppath", arp), ("controller", ctl)):
+        repairs = sorted(row.bridge_repair_times)
+        out[label] = {
+            "worst_outage_ms": round(
+                max(o.outage for o in row.outcomes) * 1e3, 4),
+            "delivery_rate": row.delivery_rate,
+            "repairs": len(repairs),
+            "repair_latency_s_max": max(repairs) if repairs else None,
+        }
+    out["outage_ratio_controller_vs_arppath"] = round(
+        out["controller"]["worst_outage_ms"]
+        / out["arppath"]["worst_outage_ms"], 3)
+    return out
+
+
+def test_controller_vs_arppath_repair(benchmark):
+    figures = run_once(benchmark, measure)
+    banner("EXP-C1 — repair latency: controller round trip vs in-band")
+    print(format_table(
+        ["family", "worst_outage_ms", "delivery", "repairs",
+         "repair_latency_max_us"],
+        [[label,
+          figures[label]["worst_outage_ms"],
+          figures[label]["delivery_rate"],
+          figures[label]["repairs"],
+          figures[label]["repair_latency_s_max"] * 1e6]
+         for label in ("arppath", "controller")]))
+    print(f"\ncontroller/arppath worst-outage ratio: "
+          f"{figures['outage_ratio_controller_vs_arppath']}x "
+          f"(pinned controller repair: {PINNED_REPAIR_S * 1e3:.2f} ms)")
+    benchmark.extra_info.update(
+        controller_worst_outage_ms=figures["controller"]["worst_outage_ms"],
+        arppath_worst_outage_ms=figures["arppath"]["worst_outage_ms"])
+    # The structural claim: every controller repair costs exactly the
+    # control-channel round trip plus the flow-mod delay...
+    assert figures["controller"]["repair_latency_s_max"] \
+        == round(PINNED_REPAIR_S, 12) or abs(
+            figures["controller"]["repair_latency_s_max"]
+            - PINNED_REPAIR_S) < 1e-9
+    # ...which ARP-Path's in-band exchange beats on the worst cut.
+    assert figures["controller"]["worst_outage_ms"] \
+        > figures["arppath"]["worst_outage_ms"]
+    # Neither family loses the stream (outages stay sub-frame-interval).
+    assert figures["arppath"]["delivery_rate"] == 1.0
+    assert figures["controller"]["delivery_rate"] == 1.0
+
+
+def regenerate_baseline(path: str = None) -> dict:
+    """Measure and rewrite BENCH_controller.json."""
+    import json
+    import os
+
+    if path is None:
+        path = os.path.join(os.path.dirname(__file__),
+                            "BENCH_controller.json")
+    figures = measure()
+    payload = {
+        "description": "Fig. 3 scripted-cut repair latency, controller "
+                       "(out-of-band round trip) vs ARP-Path (in-band); "
+                       "simulated-time figures, deterministic",
+        "failures": FAILURES,
+        "seed": SEED,
+        "pinned_controller_repair_s": PINNED_REPAIR_S,
+        **figures,
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")
+    return payload
+
+
+if __name__ == "__main__":
+    regenerate_baseline()

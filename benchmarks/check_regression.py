@@ -42,7 +42,8 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 sys.path.insert(0, os.path.join(os.path.dirname(HERE), "src"))
 sys.path.insert(0, HERE)
 
-import bench_scale  # noqa: E402  (path set up above)
+import bench_controller  # noqa: E402  (path set up above)
+import bench_scale  # noqa: E402
 import bench_shard  # noqa: E402
 import bench_sweep  # noqa: E402
 import bench_timerwheel  # noqa: E402
@@ -126,10 +127,13 @@ def main(argv=None):
         os.path.join(args.out_dir, "BENCH_scale.json"))
     fresh_shard = bench_shard.regenerate_baseline(
         os.path.join(args.out_dir, "BENCH_shard.json"))
+    fresh_controller = bench_controller.regenerate_baseline(
+        os.path.join(args.out_dir, "BENCH_controller.json"))
     base_engine = _load("BENCH_engine.json")
     base_sweep = _load("BENCH_sweep.json")
     base_scale = _load("BENCH_scale.json")
     base_shard = _load("BENCH_shard.json")
+    base_controller = _load("BENCH_controller.json")
 
     # (label, baseline, fresh) — all higher-is-better throughputs.
     checks = [
@@ -201,6 +205,22 @@ def main(argv=None):
     else:
         print(f"note: skipping multi-shard checks (baseline cpus="
               f"{shard_baseline_cpus}, here {fresh_shard['cpus']})")
+    # Controller-family repair figures are *simulated* time, fully
+    # deterministic (see bench_controller.py), so both sides get the
+    # tight efficiency ceiling: any growth is a control-plane protocol
+    # regression (an extra round trip, a lost barrier), never noise.
+    for family in ("arppath", "controller"):
+        inverted_checks.append((
+            f"{family} fig3 worst outage ms",
+            _dig(base_controller, "BENCH_controller.json", family,
+                 "worst_outage_ms"),
+            fresh_controller[family]["worst_outage_ms"]))
+    inverted_checks.append((
+        "controller repair latency s",
+        _dig(base_controller, "BENCH_controller.json", "controller",
+             "repair_latency_s_max"),
+        fresh_controller["controller"]["repair_latency_s_max"]))
+
     baseline_cpus = _dig(base_sweep, "BENCH_sweep.json", "cpus")
     if fresh_sweep["cpus"] == baseline_cpus:
         jobs_key = next((k for k in base_sweep if k.startswith("jobs_")

@@ -43,7 +43,8 @@ from repro.frames.ethernet import (ETHERTYPE_ARP, ETHERTYPE_ARPPATH,
 from repro.frames.mac import BROADCAST, MAC
 from repro.netsim.engine import Simulator
 from repro.netsim.node import Port
-from repro.switching.base import Bridge, Dataplane
+from repro.switching.base import (Bridge, BridgeFamily, Dataplane,
+                                  FamilyOption, register_family)
 
 #: The ARP-Path classification pipeline: control frames are ARP-Path
 #: control messages on their experimental ethertype; everything else is
@@ -595,6 +596,51 @@ class ArpPathBridge(Bridge):
         return [port for port in self.attached_ports
                 if self.is_host_port(port)]
 
+    def state_entries(self, now: Optional[float] = None) -> int:
+        """Locked-table entries live at *now* (locked + learnt)."""
+        occ = self.table.occupancy(self.sim.now if now is None else now)
+        return occ["locked"] + occ["learnt"]
+
+    def repair_events(self) -> List[float]:
+        """Completed Path Repair durations, in completion order."""
+        return list(self.repair.repair_times)
+
+    def protocol_counters(self) -> Dict[str, int]:
+        return {
+            "relocks": self.table.counters.relocks,
+            "discovery_filtered": self.apc.discovery_filtered,
+            "proxy_suppressed": self.apc.proxy_suppressed,
+            "frames_buffered": self.repair.counters.frames_buffered,
+            "drops_buffer": self.apc.drops_buffer,
+            "repairs_completed": self.repair.counters.completed,
+        }
+
     def __repr__(self) -> str:
         return (f"<ArpPathBridge {self.name} mac={self.mac} "
                 f"entries={len(self.table)}>")
+
+
+def _arppath_factory(config: ArpPathConfig = DEFAULT_CONFIG):
+    """A bridge factory producing ARP-Path bridges with *config*."""
+
+    def build(sim: Simulator, name: str, mac: MAC) -> ArpPathBridge:
+        return ArpPathBridge(sim, name, mac, config=config)
+
+    return build
+
+
+register_family(BridgeFamily(
+    name="arppath",
+    title="ARP-Path: in-band shortest-path discovery, lock and repair "
+          "(the paper's protocol)",
+    factory=_arppath_factory,
+    warmup=5.0,
+    loop_safe=True,
+    order=10,
+    control_ethertypes=(ETHERTYPE_ARPPATH,),
+    options=(
+        FamilyOption("config", "object", None,
+                     "ArpPathConfig: lock/learnt/guard timeouts, hello "
+                     "and repair knobs (see repro.core.config)"),
+    ),
+))

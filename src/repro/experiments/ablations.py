@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.core.bridge import ArpPathBridge
 from repro.core.config import ArpPathConfig
 from repro.experiments import registry
 from repro.experiments.common import build_and_warm, spec
@@ -127,12 +126,10 @@ def sweep_lock_timeout(timeouts: List[float] = [0.0002, 0.002, 0.8, 5.0],
         series.start()
         net.run(4.0)
         series.finalize()
-        relocks = sum(b.table.counters.relocks
-                      for b in net.bridges.values()
-                      if isinstance(b, ArpPathBridge))
-        filtered = sum(b.apc.discovery_filtered
-                       for b in net.bridges.values()
-                       if isinstance(b, ArpPathBridge))
+        relocks = sum(b.protocol_counters().get("relocks", 0)
+                      for b in net.bridges.values())
+        filtered = sum(b.protocol_counters().get("discovery_filtered", 0)
+                       for b in net.bridges.values())
         rtts = series.rtts
         rows.append(LockTimeoutRow(
             lock_timeout=timeout,
@@ -175,11 +172,10 @@ def sweep_repair_buffer(sizes: List[int] = [0, 4, 32],
     for size in sizes:
         config = ArpPathConfig(repair_buffer_size=size)
         net, recovery = _run_repair_scenario(config, seed=seed)
-        buffered = sum(b.repair.counters.frames_buffered
-                       for b in net.bridges.values()
-                       if isinstance(b, ArpPathBridge))
-        drops = sum(b.apc.drops_buffer for b in net.bridges.values()
-                    if isinstance(b, ArpPathBridge))
+        buffered = sum(b.protocol_counters().get("frames_buffered", 0)
+                       for b in net.bridges.values())
+        drops = sum(b.protocol_counters().get("drops_buffer", 0)
+                    for b in net.bridges.values())
         rows.append(RepairBufferRow(
             buffer_size=size,
             outage_ms=recovery.outage * 1e3 if recovery else None,
@@ -202,9 +198,8 @@ def sweep_hello(seed: int = 0) -> List[HelloRow]:
     for config, static_roles in cases:
         net, recovery = _run_repair_scenario(config, seed=seed,
                                              static_roles=static_roles)
-        completed = sum(b.repair.counters.completed
-                        for b in net.bridges.values()
-                        if isinstance(b, ArpPathBridge))
+        completed = sum(b.protocol_counters().get("repairs_completed", 0)
+                        for b in net.bridges.values())
         rows.append(HelloRow(
             hello_enabled=config.hello_enabled,
             static_roles=static_roles,

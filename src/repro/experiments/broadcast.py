@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.core.bridge import ArpPathBridge
 from repro.core.config import ArpPathConfig
 from repro.experiments import registry
 from repro.experiments.common import ProtocolSpec, build_and_warm, spec
@@ -101,8 +100,8 @@ def run_case(proxy: bool, rows: int = 3, cols: int = 3, rounds: int = 3,
                 offset += 0.02
     net.run(rounds * round_spacing + 2.0)
 
-    answers = sum(b.apc.proxy_suppressed for b in net.bridges.values()
-                  if isinstance(b, ArpPathBridge))
+    answers = sum(b.protocol_counters().get("proxy_suppressed", 0)
+                  for b in net.bridges.values())
     failures = sum(h.counters.resolution_failures
                    for h in net.hosts.values())
     return BroadcastRow(

@@ -23,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.core.bridge import ArpPathBridge
 from repro.experiments import registry
 from repro.experiments.common import ProtocolSpec
 from repro.metrics.availability import Availability, measure_availability
@@ -179,8 +178,7 @@ def run_protocol(protocol: ProtocolSpec, topology: str = "demo",
                                         window_start=start, window_end=end)
     repair_times: List[float] = []
     for bridge in net.bridges.values():
-        if isinstance(bridge, ArpPathBridge):
-            repair_times.extend(bridge.repair.repair_times)
+        repair_times.extend(bridge.repair_events())
     return ChurnRow(protocol=protocol.name, topology=topology,
                     flap_rate=flap_rate, down_time=down_time,
                     duration=duration, crashes=timeline.counts["crashes"],
@@ -251,10 +249,9 @@ def _churn_shard_worker(shard_id: int, shard_count: int, endpoint,
         "duplicates": sink.duplicates if runtime.owns(dst) else 0,
         # Keyed by name so the merge can restore the global
         # net.bridges order the single-process row concatenates in.
-        "repair_times": {name: list(bridge.repair.repair_times)
+        "repair_times": {name: bridge.repair_events()
                          for name, bridge in net.bridges.items()
-                         if runtime.owns(name)
-                         and isinstance(bridge, ArpPathBridge)},
+                         if runtime.owns(name)},
         "bridge_order": list(net.bridges),
         "counts": dict(timeline.counts),
     }
@@ -370,11 +367,7 @@ registry.register(registry.Scenario(
     params=(
         registry.Param("topology", str, "demo", choices=CHURN_TOPOLOGIES,
                        help="named wiring (demo, line, ring, grid)"),
-        registry.Param("protocols", str, ["arppath", "stp", "spb"],
-                       nargs="+",
-                       choices=("arppath", "stp", "spb", "learning"),
-                       help="bridge families to compare ('learning' "
-                            "needs a loop-free topology)"),
+        registry.protocols_param(["arppath", "stp", "spb"]),
         registry.Param("flap_rate", float, 0.2,
                        help="fabric link flaps per second (Poisson)"),
         registry.Param("down_time", float, 0.5,

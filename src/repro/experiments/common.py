@@ -3,28 +3,31 @@
 Each experiment module exposes a ``run(...)`` returning a result object
 with a ``table()`` method; benches and examples print that table. The
 helpers here standardise protocol selection, warmup and probe running.
+
+Protocol knowledge (factories, warmup budgets, loop-safety, per-family
+config options) lives in the :class:`~repro.switching.base.BridgeFamily`
+registry; :func:`spec` is a view over it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.core.config import ArpPathConfig
 from repro.netsim.engine import Simulator
-from repro.stp.bridge import StpTimers
-from repro.topology import factories
+from repro.switching import base
 from repro.topology.builder import BridgeFactory, Network
 
+
+def _warmups() -> Dict[str, float]:
+    return {fam.name: fam.warmup for fam in base.all_families()}
+
+
 #: Warmup budget (simulated seconds) per protocol: long enough for the
-#: control plane to settle before measurement traffic starts.
-WARMUP = {
-    "arppath": 5.0,
-    "learning": 1.0,
-    "spb": 8.0,
-    # 802.1D needs listening+learning (2 x forward delay) plus margin.
-    "stp": 45.0,
-}
+#: control plane to settle before measurement traffic starts. Derived
+#: from the family registry.
+WARMUP = _warmups()
 
 
 @dataclass(frozen=True)
@@ -47,32 +50,25 @@ class ProtocolSpec:
 
 def spec(protocol: str, *, arppath_config: Optional[ArpPathConfig] = None,
          stp_scale: Optional[float] = None,
-         warmup: Optional[float] = None) -> ProtocolSpec:
+         warmup: Optional[float] = None,
+         family_options: Optional[Dict[str, object]] = None) -> ProtocolSpec:
     """Build a :class:`ProtocolSpec` by name with common tweaks."""
-    if protocol == "arppath":
-        factory = (factories.arppath(arppath_config)
-                   if arppath_config is not None else factories.arppath())
-        default_warmup = WARMUP["arppath"]
-        name = "arppath"
-    elif protocol == "stp":
-        if stp_scale is not None:
-            factory = factories.stp(timers=StpTimers().scaled(stp_scale))
-            default_warmup = WARMUP["stp"] * stp_scale
-            name = f"stp(x{stp_scale:g})"
-        else:
-            factory = factories.stp()
-            default_warmup = WARMUP["stp"]
-            name = "stp"
-    elif protocol == "spb":
-        factory = factories.spb()
-        default_warmup = WARMUP["spb"]
-        name = "spb"
-    elif protocol == "learning":
-        factory = factories.learning()
-        default_warmup = WARMUP["learning"]
-        name = "learning"
-    else:
+    try:
+        fam = base.family(protocol)
+    except KeyError:
         raise ValueError(f"unknown protocol: {protocol}")
+    name = fam.name
+    if protocol == "arppath" and arppath_config is not None:
+        factory = fam.factory(arppath_config)
+        default_warmup = fam.warmup
+    elif stp_scale is not None and fam.scaled is not None:
+        name, factory, default_warmup = fam.scaled(stp_scale)
+    elif family_options:
+        factory = fam.factory(**family_options)
+        default_warmup = fam.warmup
+    else:
+        factory = fam.factory()
+        default_warmup = fam.warmup
     return ProtocolSpec(name=name, factory=factory,
                         warmup=warmup if warmup is not None else default_warmup,
                         key=protocol)

@@ -175,9 +175,8 @@ registry.register(registry.Scenario(
         registry.Param("probes", int, 20, help="ping probes per protocol"),
         registry.Param("cross_latency_us", float, 500.0,
                        help="demo cross-cable latency in microseconds"),
-        registry.Param("protocols", str, ["arppath", "stp", "spb"],
-                       nargs="+", choices=("arppath", "stp", "spb"),
-                       help="protocols to compare"),
+        registry.protocols_param(["arppath", "stp", "spb"],
+                                 loop_safe_only=True),
         registry.Param("stp_scale", float, 0.1,
                        help="STP timer scale factor (1.0 = IEEE "
                             "default timers)"),
@@ -195,9 +194,8 @@ registry.register(registry.Scenario(
     # demo topology's loops (that failure mode is demonstrated in the
     # loop-freedom bench instead).
     params=(
-        registry.Param("protocol", str, "arppath",
-                       choices=("arppath", "stp", "spb"),
-                       help="bridge family to run"),
+        registry.protocols_param("arppath", loop_safe_only=True,
+                                 name="protocol", nargs=None, sweep=True),
         registry.Param("count", int, 5, help="number of probes"),
         registry.seeds_param(),
     ),

@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.core.bridge import ArpPathBridge
 from repro.experiments import registry
 from repro.experiments.common import ProtocolSpec, build_and_warm, spec
 from repro.metrics.convergence import Recovery, recoveries_for_failures
@@ -148,8 +147,7 @@ def run_protocol(protocol: ProtocolSpec, failures: int = 2,
                 for link, when, rec in zip(failed, fail_times, recoveries)]
     repair_times: List[float] = []
     for bridge in net.bridges.values():
-        if isinstance(bridge, ArpPathBridge):
-            repair_times.extend(bridge.repair.repair_times)
+        repair_times.extend(bridge.repair_events())
     return ProtocolRepair(protocol=protocol.name, outcomes=outcomes,
                           chunks_sent=source.sent,
                           chunks_received=sink.received,
@@ -208,9 +206,7 @@ registry.register(registry.Scenario(
         registry.Param("stp_scale", float, 0.1,
                        help="STP timer scale factor (1.0 = IEEE "
                             "default timers)"),
-        registry.Param("protocols", str, ["arppath", "stp"],
-                       nargs="+", choices=("arppath", "stp", "spb"),
-                       help="protocols to compare"),
+        registry.protocols_param(["arppath", "stp"], loop_safe_only=True),
         registry.seeds_param(),
     ),
     run=_fig3_scenario,

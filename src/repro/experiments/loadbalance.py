@@ -120,9 +120,8 @@ registry.register(registry.Scenario(
         registry.Param("hosts_per_edge", int, 2,
                        help="hosts per edge switch"),
         registry.Param("packets", int, 50, help="packets per flow"),
-        registry.Param("protocols", str, ["arppath", "stp", "spb"],
-                       nargs="+", choices=("arppath", "stp", "spb"),
-                       help="protocols to compare"),
+        registry.protocols_param(["arppath", "stp", "spb"],
+                                 loop_safe_only=True),
         registry.Param("stp_scale", float, None,
                        help="STP timer scale factor (omitted = IEEE "
                             "default timers)"),

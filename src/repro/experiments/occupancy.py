@@ -18,11 +18,9 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.core.bridge import ArpPathBridge
 from repro.experiments import registry
 from repro.experiments.common import ProtocolSpec, build_and_warm, spec
 from repro.metrics.report import format_table
-from repro.spb.bridge import SpbBridge
 from repro.topology.library import populate_access_ports, ring
 from repro.traffic.matrix import TrafficMatrix
 
@@ -69,33 +67,14 @@ class OccupancyResult:
 def bridge_state_entries(bridge, now: Optional[float] = None) -> int:
     """Comparable dynamic-state size of any bridge family.
 
-    ARP-Path: locked-table entries. SPB: LSDB entries plus advertised
-    hosts (the state a link-state control plane must replicate
-    everywhere). STP and the learning switch: FDB entries. Shared by
-    this experiment and the ``scale`` scenario so the two report the
-    same quantity.
-
-    Aging families count entries *live at now* (default: the bridge's
-    current simulation time), not raw store sizes: the stores reap
-    lazily, so at population scale a raw ``len`` would credit a bridge
-    with thousands of endpoints whose locks expired long ago — and the
-    ARP-Path vs FDB comparison would hinge on reaping order instead of
-    on the protocols' retention policies.
+    Thin wrapper over the protocol-neutral
+    :meth:`~repro.switching.base.Bridge.state_entries` hook each family
+    implements (ARP-Path: live locked+learnt entries; SPB: LSDB entries
+    plus advertised hosts; controller: live flow entries; STP and the
+    learning switch: live FDB entries). Shared by this experiment and
+    the ``scale`` scenario so the two report the same quantity.
     """
-    if now is None:
-        now = bridge.sim.now
-    if isinstance(bridge, ArpPathBridge):
-        occ = bridge.table.occupancy(now)
-        return occ["locked"] + occ["learnt"]
-    if isinstance(bridge, SpbBridge):
-        total = 0
-        for info in bridge.lsdb_summary().values():
-            total += 1 + info["hosts"]
-        return total
-    fdb = getattr(bridge, "fdb", None)
-    if fdb is not None:
-        return fdb.live_count(now)
-    return 0
+    return bridge.state_entries(now)
 
 
 #: Backwards-compatible alias (pre-scale name).
@@ -147,10 +126,12 @@ def run_case(protocol: ProtocolSpec, hosts_per_bridge: int,
 
 
 def run(host_counts: List[int] = [1, 2, 4], sparse_pairs: int = 4,
-        endpoints_per_port: int = 1, seed: int = 0) -> OccupancyResult:
-    """Sweep host density for ARP-Path and SPB, dense and sparse."""
+        endpoints_per_port: int = 1, seed: int = 0,
+        protocols: Optional[List[str]] = None) -> OccupancyResult:
+    """Sweep host density per family, dense and sparse traffic."""
     result = OccupancyResult()
-    for protocol_name in ("arppath", "spb"):
+    for protocol_name in (protocols if protocols is not None
+                          else ("arppath", "spb")):
         for hosts_per_bridge in host_counts:
             protocol = spec(protocol_name)
             result.rows.append(run_case(
@@ -167,13 +148,13 @@ def run(host_counts: List[int] = [1, 2, 4], sparse_pairs: int = 4,
 
 
 def _occupancy_scenario(seeds: List[int], host_counts: List[int],
-                        sparse_pairs: int,
-                        endpoints_per_port: int) -> OccupancyResult:
+                        sparse_pairs: int, endpoints_per_port: int,
+                        protocols: List[str]) -> OccupancyResult:
     return registry.seeded(
         lambda seed: run(host_counts=host_counts,
                          sparse_pairs=sparse_pairs,
                          endpoints_per_port=endpoints_per_port,
-                         seed=seed))(seeds)
+                         seed=seed, protocols=protocols))(seeds)
 
 
 registry.register(registry.Scenario(
@@ -190,6 +171,7 @@ registry.register(registry.Scenario(
                             "flyweight populations and adds the "
                             "heavy-tailed Zipf elephant/mice flow "
                             "phase)"),
+        registry.protocols_param(["arppath", "spb"], loop_safe_only=True),
         registry.seeds_param(),
     ),
     run=_occupancy_scenario,

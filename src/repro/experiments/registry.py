@@ -255,8 +255,13 @@ class Scenario:
         Every parameter has a registry default, so none is required at
         the scenario level — a submission's required fields live in the
         job-envelope schema (:func:`submission_schema`).
+
+        Scenarios with a protocol choice additionally carry a
+        ``families`` section: the per-family config sub-schema
+        (:meth:`repro.switching.base.BridgeFamily.describe`) of every
+        family the scenario accepts.
         """
-        return {
+        out: Dict[str, Any] = {
             "type": "object",
             "title": self.name,
             "description": self.title,
@@ -264,6 +269,16 @@ class Scenario:
             "additionalProperties": False,
             "required": [],
         }
+        choices: List[str] = []
+        for param in self.params:
+            if param.name in ("protocol", "protocols") and param.choices:
+                choices = list(param.choices)
+        if choices:
+            from repro.switching import base
+            out["families"] = {
+                fam.name: fam.describe() for fam in base.all_families()
+                if fam.name in choices}
+        return out
 
     def validate_submission(self, overrides: Optional[Dict[str, Any]],
                             field_prefix: str = ""
@@ -344,8 +359,11 @@ def schema() -> Dict[str, Any]:
     surfaces can drift from the others.
     """
     load_all()
+    from repro.switching import base
     return {
         "scenarios": [get(name).schema() for name in names()],
+        "families": {fam.name: fam.describe()
+                     for fam in base.all_families()},
         "submission": submission_schema(),
     }
 
@@ -429,6 +447,30 @@ def seeded(run_one: Callable[..., Any],
         return merged
 
     return run
+
+
+def protocols_param(default: Sequence[str], *, loop_safe_only: bool = False,
+                    name: str = "protocols", nargs: Optional[str] = "+",
+                    sweep: bool = True) -> Param:
+    """The ``protocols`` parameter, derived from the family registry.
+
+    Choices and the help string come from the registered
+    :class:`~repro.switching.base.BridgeFamily` descriptors, so a newly
+    registered family appears in every scenario's CLI/API surface
+    without touching the scenario. ``loop_safe_only`` excludes families
+    that melt down on loops (the plain learning switch) from scenarios
+    whose topologies have them.
+    """
+    from repro.switching import base
+    choices = base.family_names(loop_safe_only=loop_safe_only)
+    help_text = ("bridge famil{y} to compare: "
+                 .format(y="ies" if nargs == "+" else "y")
+                 + ", ".join(choices))
+    if loop_safe_only:
+        help_text += " (loop-safe families only)"
+    return Param(name=name, type=str,
+                 default=list(default) if nargs == "+" else default,
+                 nargs=nargs, choices=choices, help=help_text, sweep=sweep)
 
 
 def protocol_specs(names: Iterable[str],

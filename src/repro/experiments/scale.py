@@ -38,8 +38,8 @@ from typing import Any, Dict, List, Optional
 from repro.experiments import registry
 from repro.experiments.common import ProtocolSpec
 from repro.experiments.occupancy import bridge_state_entries
-from repro.frames.ethernet import (ETHERTYPE_ARP, ETHERTYPE_ARPPATH,
-                                   ETHERTYPE_BPDU, ETHERTYPE_LSP)
+from repro.frames.ethernet import ETHERTYPE_ARP
+from repro.switching import base
 from repro.metrics.report import format_table
 from repro.netsim import tracer as trc
 from repro.netsim.engine import Simulator
@@ -237,8 +237,8 @@ def run_case(protocol: ProtocolSpec, kind: str, size: int, pairs: int = 3,
     sampler.stop()
 
     sent = sim.tracer.by_ethertype[trc.SENT]
-    control = (sent.get(ETHERTYPE_ARPPATH, 0) + sent.get(ETHERTYPE_BPDU, 0)
-               + sent.get(ETHERTYPE_LSP, 0))
+    control = sum(sent.get(ethertype, 0)
+                  for ethertype in base.control_ethertypes())
     payloads = sum(net.host(name).counters.ip_received for name in hosts) \
         + sum(pop.counters.ip_received for pop in net.populations.values())
     answered = sum(net.host(name).counters.echo_replies_received
@@ -379,8 +379,8 @@ def _merge_scale_shards(protocol: ProtocolSpec, kind: str, size: int,
     for result in shards:
         for ethertype, count in result["sent"].items():
             sent[ethertype] = sent.get(ethertype, 0) + count
-    control = (sent.get(ETHERTYPE_ARPPATH, 0) + sent.get(ETHERTYPE_BPDU, 0)
-               + sent.get(ETHERTYPE_LSP, 0))
+    control = sum(sent.get(ethertype, 0)
+                  for ethertype in base.control_ethertypes())
     states = [entry for result in shards for entry in result["states"]]
     convergence = next((result["convergence"] for result in shards
                         if result["src_owner"]), None)
@@ -491,10 +491,7 @@ registry.register(registry.Scenario(
                             "random, line)"),
         registry.Param("sizes", int, [16, 36, 64], nargs="+",
                        help="target bridge counts, one cell per value"),
-        registry.Param("protocols", str, ["arppath", "spb"], nargs="+",
-                       choices=("arppath", "stp", "spb", "learning"),
-                       help="bridge families to compare ('learning' "
-                            "needs the loop-free 'line' kind)"),
+        registry.protocols_param(["arppath", "spb"]),
         registry.Param("pairs", int, 3,
                        help="probe host pairs (capped at hosts//2)"),
         registry.Param("probes", int, 3, help="probe rounds per pair"),

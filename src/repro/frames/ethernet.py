@@ -44,6 +44,9 @@ ETHERTYPE_ARPPATH = 0x88B5
 ETHERTYPE_BPDU = 0x4242
 #: Pseudo ethertype for the SPB baseline's link-state packets.
 ETHERTYPE_LSP = 0x88B6
+#: Pseudo ethertype for the centralized controller family's control
+#: channel (LLDP discovery, packet-in, flow-mod).
+ETHERTYPE_CONTROLLER = 0x88B7
 
 #: Destination address of BPDUs (802.1D bridge group address).
 STP_MULTICAST = MAC("01:80:c2:00:00:00")
@@ -68,6 +71,7 @@ _ETHERTYPE_NAMES = {
     ETHERTYPE_ARPPATH: "ARP-Path",
     ETHERTYPE_BPDU: "BPDU",
     ETHERTYPE_LSP: "LSP",
+    ETHERTYPE_CONTROLLER: "CTRL",
 }
 
 #: A hop record appended to a frame's trace: (node_name, port_index, time).

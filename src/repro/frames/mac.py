@@ -161,3 +161,15 @@ def mac_for_bridge(index: int) -> MAC:
     if not 0 <= index < (1 << 24):
         raise ValueError(f"bridge index out of range: {index}")
     return MAC(0x02_00_01_00_00_00 | index)
+
+
+def mac_for_controller(index: int) -> MAC:
+    """A deterministic locally-administered unicast MAC for an
+    out-of-band controller node.
+
+    Controllers get the ``02:00:02`` prefix, disjoint from both hosts
+    and bridges.
+    """
+    if not 0 <= index < (1 << 24):
+        raise ValueError(f"controller index out of range: {index}")
+    return MAC(0x02_00_02_00_00_00 | index)

@@ -88,6 +88,12 @@ class Node:
     #: bookkeeping but never started, so they schedule nothing.
     shard_ghost = False
 
+    #: True on nodes that belong to an out-of-band control plane (the
+    #: centralized controller): their links carry no fabric traffic and
+    #: are excluded from topology oracles (:func:`repro.topology.builder
+    #: .graph_of`), fabric link listings and churn link flaps.
+    out_of_band = False
+
     def __init__(self, sim: Simulator, name: str):
         self.sim = sim
         self.name = name

@@ -183,7 +183,8 @@ class ShardRuntime:
         if self.endpoint is not None:
             for peer in self.endpoint.peers:
                 self._outbox[peer] = []
-        for registry in (net.bridges, net.hosts, net.populations):
+        for registry in (net.bridges, net.hosts, net.populations,
+                         net.controllers):
             for name, node in registry.items():
                 if plan.shard_of(name) != self.shard_id:
                     node.shard_ghost = True

@@ -38,9 +38,11 @@ from repro.frames.ethernet import EthernetFrame
 from repro.frames.ipv4 import IPv4Packet
 from repro.frames.udp import UdpDatagram
 
-# Register the BPDU and LSP ethertype codecs (import side effect).
+# Register the BPDU, LSP and controller ethertype codecs (import side
+# effect).
 import repro.stp.codec   # noqa: F401
 import repro.spb.codec   # noqa: F401
+import repro.switching.controller.codec   # noqa: F401
 
 
 class ShardTransportError(RuntimeError):

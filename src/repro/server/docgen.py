@@ -199,6 +199,42 @@ def _envelope_section() -> List[str]:
     return lines
 
 
+def _family_sections() -> List[str]:
+    from repro.switching import base
+    lines = [
+        "## Bridge families",
+        "",
+        "Protocol choices (`protocols` / `protocol` parameters) come "
+        "from the self-registering bridge-family registry "
+        "(`repro.switching.base`). `GET /v1/scenarios` carries the "
+        "same descriptors under `families`, and scenarios with a "
+        "protocol choice embed the sub-schemas of the families they "
+        "accept.",
+        "",
+        "| Family | Loop-safe | Warmup (s) | Control ethertypes "
+        "| Description |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    for fam in base.all_families():
+        info = fam.describe()
+        ethertypes = " ".join(f"`{e}`" for e in
+                              info["control_ethertypes"]) or "—"
+        lines.append(
+            f"| `{fam.name}` | {'yes' if fam.loop_safe else 'no'} "
+            f"| {fam.warmup:g} | {ethertypes} | {fam.title} |")
+    for fam in base.all_families():
+        if not fam.options:
+            continue
+        lines += ["", f"### `{fam.name}` config", "",
+                  "| Option | Type | Default | Description |",
+                  "| --- | --- | --- | --- |"]
+        for option in fam.options:
+            lines.append(
+                f"| `{option.name}` | {option.type} "
+                f"| {_fmt_default(option.default)} | {option.help} |")
+    return lines
+
+
 def _scenario_sections() -> List[str]:
     lines = ["## Scenarios",
              "",
@@ -217,6 +253,7 @@ def render() -> str:
     registry.load_all()
     parts = [_HEADER]
     parts.append("\n".join(_envelope_section()) + "\n")
+    parts.append("\n".join(_family_sections()) + "\n")
     parts.append("\n".join(_scenario_sections()) + "\n")
     parts.append(_WALKTHROUGH)
     return "\n".join(parts)

@@ -22,7 +22,8 @@ from repro.netsim.engine import Simulator
 from repro.netsim.node import Port
 from repro.spb.lsp import (Adjacency, LinkStatePacket, SPB_MULTICAST,
                            SpbHello)
-from repro.switching.base import Bridge, Dataplane
+from repro.switching.base import (Bridge, BridgeFamily, Dataplane,
+                                  FamilyOption, register_family)
 
 DEFAULT_HELLO_INTERVAL = 1.0
 DEFAULT_HELLO_HOLD = 3.5
@@ -426,6 +427,54 @@ class SpbBridge(Bridge):
                               "hosts": len(lsp.hosts)}
                 for origin, (lsp, _received) in self._lsdb.items()}
 
+    def state_entries(self, now: Optional[float] = None) -> int:
+        """LSDB entries plus advertised hosts — the state a link-state
+        control plane must replicate on every bridge."""
+        total = 0
+        for _origin, (lsp, _received) in self._lsdb.items():
+            total += 1 + len(lsp.hosts)
+        return total
+
+    def protocol_counters(self) -> Dict[str, int]:
+        return {
+            "lsps_originated": self.spb_counters.lsps_originated,
+            "lsps_flooded": self.spb_counters.lsps_flooded,
+            "spf_runs": self.spb_counters.spf_runs,
+            "rpf_drops": self.spb_counters.rpf_drops,
+        }
+
     def __repr__(self) -> str:
         return (f"<SpbBridge {self.name} lsdb={len(self._lsdb)} "
                 f"hosts={len(self._local_hosts)}>")
+
+
+def _spb_factory(**kwargs):
+    """A bridge factory producing link-state shortest-path bridges."""
+
+    def build(sim: Simulator, name: str, mac: MAC) -> SpbBridge:
+        return SpbBridge(sim, name, mac, **kwargs)
+
+    return build
+
+
+register_family(BridgeFamily(
+    name="spb",
+    title="SPB/TRILL-style link-state shortest path bridging",
+    factory=_spb_factory,
+    warmup=8.0,
+    loop_safe=True,
+    order=30,
+    control_ethertypes=(ETHERTYPE_LSP,),
+    options=(
+        FamilyOption("hello_interval", "float", DEFAULT_HELLO_INTERVAL,
+                     "adjacency hello period (seconds)"),
+        FamilyOption("hello_hold", "float", DEFAULT_HELLO_HOLD,
+                     "adjacency hold time before expiry (seconds)"),
+        FamilyOption("lsp_refresh", "float", DEFAULT_LSP_REFRESH,
+                     "periodic LSP re-origination interval (seconds)"),
+        FamilyOption("lsp_max_age", "float", DEFAULT_LSP_MAX_AGE,
+                     "LSDB entry lifetime without refresh (seconds)"),
+        FamilyOption("host_aging", "float", DEFAULT_HOST_AGING,
+                     "advertised-host aging time (seconds)"),
+    ),
+))

@@ -31,7 +31,8 @@ from repro.netsim.node import Port
 from repro.stp.bpdu import (BridgeId, ConfigBpdu, DEFAULT_BRIDGE_PRIORITY,
                             DEFAULT_PORT_PRIORITY, PATH_COST_1G, PortId,
                             PriorityVector, TcnBpdu)
-from repro.switching.base import Bridge, Dataplane
+from repro.switching.base import (Bridge, BridgeFamily, Dataplane,
+                                  FamilyOption, register_family)
 from repro.switching.table import ForwardingTable
 
 #: Standard increment added to message age at each hop.
@@ -585,6 +586,62 @@ class StpBridge(Bridge):
                        for info in self._port_info.values()},
         }
 
+    def protocol_counters(self) -> Dict[str, int]:
+        return {
+            "bpdus_sent": self.stp_counters.bpdus_sent,
+            "tcns_sent": self.stp_counters.tcns_sent,
+            "topology_changes": self.stp_counters.topology_changes,
+            "root_changes": self.stp_counters.root_changes,
+        }
+
     def __repr__(self) -> str:
         role = "root" if self.is_root else f"root={self.root_id}"
         return f"<StpBridge {self.name} {role}>"
+
+
+#: IEEE-default warmup: listening + learning (2 x forward delay) plus
+#: margin for election to settle.
+_STP_WARMUP = 45.0
+
+
+def _stp_factory(timers: StpTimers = StpTimers(),
+                 priority: Optional[int] = None):
+    """A bridge factory producing 802.1D bridges.
+
+    With the default *priority* of None every bridge uses 0x8000 and
+    the lowest MAC wins root election (bridge creation order), exactly
+    like an unconfigured ``bridge_utils`` deployment.
+    """
+
+    def build(sim: Simulator, name: str, mac: MAC) -> StpBridge:
+        kwargs = {} if priority is None else {"priority": priority}
+        return StpBridge(sim, name, mac, timers=timers, **kwargs)
+
+    return build
+
+
+def _stp_scaled(factor: float):
+    """The family's timer-scaling hook: proportionally faster STP."""
+    return (f"stp(x{factor:g})",
+            _stp_factory(timers=StpTimers().scaled(factor)),
+            _STP_WARMUP * factor)
+
+
+register_family(BridgeFamily(
+    name="stp",
+    title="802.1D spanning tree: the demo's bridge_utils baseline",
+    factory=_stp_factory,
+    warmup=_STP_WARMUP,
+    loop_safe=True,
+    order=20,
+    control_ethertypes=(ETHERTYPE_BPDU,),
+    options=(
+        FamilyOption("timers", "object", None,
+                     "StpTimers: hello_time/max_age/forward_delay "
+                     "(IEEE defaults; .scaled(f) for faster variants)"),
+        FamilyOption("priority", "int", None,
+                     "bridge priority (default 0x8000 everywhere: "
+                     "lowest MAC wins root election)"),
+    ),
+    scaled=_stp_scaled,
+))

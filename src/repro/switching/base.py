@@ -33,7 +33,9 @@ handlers.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Type
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, Iterable, List, Optional, Tuple,
+                    Type)
 
 from repro.frames.arp import ArpPacket
 from repro.frames.ethernet import (ETHERTYPE_ARP, EthernetFrame,
@@ -265,3 +267,182 @@ class Bridge(Node):
     def filter_frame(self) -> None:
         """Account for a deliberately discarded frame."""
         self.counters.filtered += 1
+
+    # -- introspection hooks -----------------------------------------------
+    #
+    # The protocol-neutral surface experiments use instead of
+    # ``isinstance(bridge, <FamilyBridge>)`` checks: every family
+    # answers the same three questions (how much dynamic state, which
+    # ethertypes are control traffic, what repairs completed) plus a
+    # free-form counter bag for family-specific mechanisms.
+
+    def state_entries(self, now: Optional[float] = None) -> int:
+        """Comparable dynamic-state size of this bridge.
+
+        The per-family definition of "state a bridge must hold":
+        ARP-Path counts locked-table entries, SPB counts LSDB entries
+        plus advertised hosts, the controller family counts installed
+        flow entries. The default covers any family with an aging
+        ``fdb`` (STP, the learning switch): entries *live at now*, not
+        raw store size — the stores reap lazily, so a raw ``len`` would
+        credit a bridge with endpoints whose entries expired long ago.
+        """
+        fdb = getattr(self, "fdb", None)
+        if fdb is None:
+            return 0
+        return fdb.live_count(self.sim.now if now is None else now)
+
+    def control_frame_kinds(self) -> Iterable[int]:
+        """The ethertypes this family's control plane emits."""
+        return self._control_ethertypes
+
+    def repair_events(self) -> List[float]:
+        """Completed path-repair durations (seconds), in completion
+        order. Families without a repair mechanism report none."""
+        return []
+
+    def protocol_counters(self) -> Dict[str, int]:
+        """Family-specific mechanism counters, keyed by stable names.
+
+        Experiments sum these across bridges (``relocks``,
+        ``proxy_suppressed``, ``frames_buffered``, ...) instead of
+        reaching into family internals; absent keys read as zero.
+        """
+        return {}
+
+
+# -- bridge-family registry --------------------------------------------------
+#
+# A :class:`BridgeFamily` is the one self-describing record a protocol
+# family publishes about itself: how to build its bridges, how long its
+# control plane needs to settle, whether it survives loops, and which
+# configuration knobs it exposes. Families register themselves at
+# import of their own package; everything downstream — factory lookup,
+# experiment protocol choices, CLI ``--protocols`` values, the serve
+# API's schema — derives from this registry, so adding a family touches
+# only its own package plus this file's import list.
+
+
+@dataclass(frozen=True)
+class FamilyOption:
+    """One configuration knob of a bridge family's factory."""
+
+    name: str
+    #: JSON-ish type label for the serve schema ("int", "float",
+    #: "bool", "object").
+    type: str
+    #: Default value; None for object-typed knobs (described in *help*).
+    default: Any
+    help: str
+
+    def describe(self) -> Dict[str, Any]:
+        return {"name": self.name, "type": self.type,
+                "default": self.default, "help": self.help}
+
+
+@dataclass(frozen=True)
+class BridgeFamily:
+    """Self-registering descriptor for one bridge protocol family."""
+
+    name: str
+    #: One-line description (Param help strings, serve schema).
+    title: str
+    #: Factory *builder*: ``factory(**config) -> BridgeFactory`` where a
+    #: BridgeFactory is ``(sim, name, mac) -> Bridge``. Builders may
+    #: attach a ``network_finalize(net)`` attribute to the returned
+    #: closure; :meth:`repro.topology.builder.Network.finalize_topology`
+    #: runs it once after the wiring is complete (the controller family
+    #: wires its out-of-band control plane there).
+    factory: Callable[..., Callable]
+    #: Warmup budget (simulated seconds) before measurement traffic.
+    warmup: float
+    #: Does the family keep a loopy fabric broadcast-storm free?
+    loop_safe: bool = True
+    #: Canonical display position (choices tuples, schema listings).
+    order: int = 100
+    #: Ethertypes of the family's control frames — the union over
+    #: registered families is what experiments count as control load.
+    control_ethertypes: Tuple[int, ...] = ()
+    #: The factory's configuration knobs (serve API sub-schema).
+    options: Tuple[FamilyOption, ...] = ()
+    #: Optional timer-scaling hook: ``scaled(factor) -> (display_name,
+    #: BridgeFactory, warmup)``. Only meaningful for timer-driven
+    #: families (STP's ``stp_scale`` axis).
+    scaled: Optional[Callable[[float], Tuple[str, Callable, float]]] = None
+
+    def describe(self) -> Dict[str, Any]:
+        """The family's serve-API sub-schema (JSON-safe)."""
+        return {
+            "name": self.name,
+            "title": self.title,
+            "warmup": self.warmup,
+            "loop_safe": self.loop_safe,
+            "control_ethertypes": [f"0x{e:04x}"
+                                   for e in self.control_ethertypes],
+            "scalable": self.scaled is not None,
+            "config": [option.describe() for option in self.options],
+        }
+
+
+_FAMILIES: Dict[str, BridgeFamily] = {}
+_families_loaded = False
+
+
+def register_family(family: BridgeFamily) -> BridgeFamily:
+    """Register *family* (idempotent per name; latest wins)."""
+    _FAMILIES[family.name] = family
+    return family
+
+
+def load_families() -> None:
+    """Import every family package so each registers itself.
+
+    The one place that knows the full family list. Lazy (called from
+    the lookup functions) so ``base`` itself stays import-light and the
+    family modules — which import this one — load cleanly.
+    """
+    global _families_loaded
+    if _families_loaded:
+        return
+    _families_loaded = True
+    import repro.core.bridge            # noqa: F401  arppath
+    import repro.stp.bridge             # noqa: F401  stp
+    import repro.spb.bridge             # noqa: F401  spb
+    import repro.switching.learning     # noqa: F401  learning
+    import repro.switching.controller   # noqa: F401  controller
+
+
+def family(name: str) -> BridgeFamily:
+    """Look up a registered family by name.
+
+    Raises ``KeyError`` with the sorted known names for unknown ones.
+    """
+    load_families()
+    try:
+        return _FAMILIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_FAMILIES))
+        raise KeyError(f"unknown bridge family {name!r} "
+                       f"(known: {known})") from None
+
+
+def all_families() -> List[BridgeFamily]:
+    """Every registered family in canonical (order, name) order."""
+    load_families()
+    return sorted(_FAMILIES.values(), key=lambda f: (f.order, f.name))
+
+
+def family_names(loop_safe_only: bool = False) -> Tuple[str, ...]:
+    """Family names in canonical order; optionally only the families
+    that keep a loopy fabric storm-free."""
+    return tuple(f.name for f in all_families()
+                 if f.loop_safe or not loop_safe_only)
+
+
+def control_ethertypes() -> Tuple[int, ...]:
+    """The sorted union of every family's control ethertypes."""
+    load_families()
+    union = set()
+    for fam in _FAMILIES.values():
+        union.update(fam.control_ethertypes)
+    return tuple(sorted(union))

@@ -1,0 +1,48 @@
+"""Configuration for the centralized controller family."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Tunables of the controller family (one instance per network).
+
+    ``rtt``
+        Bridge ↔ controller round-trip time. Every control-channel star
+        link gets a one-way latency of ``rtt / 2``, so a packet-in plus
+        its flow-install costs exactly one RTT and the barriered repair
+        exchange (report → remove → ack → install) costs two.
+    ``install_latency``
+        Flow-mod programming delay at the bridge: an arriving
+        FLOW_INSTALL takes effect (and flushes buffered frames) this
+        long after delivery, modeling TCAM/flow-table update cost.
+    """
+
+    #: Controller round-trip time in seconds (star link latency = rtt/2).
+    rtt: float = 2e-3
+    #: Flow-mod programming delay at the bridge (seconds).
+    install_latency: float = 50e-6
+    #: Idle timeout of installed flow entries (seconds).
+    flow_idle: float = 5.0
+    #: Hard timeout of installed flow entries (seconds).
+    flow_hard: float = 60.0
+    #: Idle timeout of flood-verdict entries for unknown destinations.
+    flow_idle_unknown: float = 0.5
+    #: Split flows across equal-cost shortest paths by (src, dst) hash.
+    ecmp: bool = False
+    #: Maximum equal-cost paths enumerated per ECMP decision.
+    ecmp_max_paths: int = 32
+    #: LLDP neighbor-discovery probe period (seconds).
+    lldp_interval: float = 1.0
+    #: Debounce window for flood-tree recomputation after topology
+    #: change reports (seconds). Flow repair is NOT debounced.
+    recompute_debounce: float = 0.05
+    #: Per-flow-key frame buffer while a packet-in is outstanding.
+    miss_buffer: int = 32
+    #: Broadcast buffer while no flood rule has been installed yet.
+    broadcast_buffer: int = 64
+
+
+DEFAULT_CONTROLLER_CONFIG = ControllerConfig()

@@ -11,7 +11,8 @@ from repro.frames.ethernet import EthernetFrame
 from repro.frames.mac import MAC
 from repro.netsim.engine import Simulator
 from repro.netsim.node import Port
-from repro.switching.base import Bridge
+from repro.switching.base import (Bridge, BridgeFamily, FamilyOption,
+                                  register_family)
 from repro.switching.table import DEFAULT_AGING_TIME, ForwardingTable
 
 
@@ -51,3 +52,26 @@ class LearningSwitch(Bridge):
     def reset_state(self) -> None:
         """Power-cycle wipe: forget every learnt address."""
         self.fdb.flush()
+
+
+def _learning_factory(aging_time: float = DEFAULT_AGING_TIME):
+    """A factory producing plain learning switches (loop-unsafe)."""
+
+    def build(sim: Simulator, name: str, mac: MAC) -> LearningSwitch:
+        return LearningSwitch(sim, name, mac, aging_time=aging_time)
+
+    return build
+
+
+register_family(BridgeFamily(
+    name="learning",
+    title="Plain 802.1 learning switch (no loop protection)",
+    factory=_learning_factory,
+    warmup=1.0,
+    loop_safe=False,
+    order=40,
+    options=(
+        FamilyOption("aging_time", "float", DEFAULT_AGING_TIME,
+                     "FDB entry aging time (seconds)"),
+    ),
+))

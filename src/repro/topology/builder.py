@@ -53,6 +53,9 @@ class Network:
         self.bridges: Dict[str, Bridge] = {}
         self.hosts: Dict[str, Host] = {}
         self.populations: Dict[str, HostPopulation] = {}
+        #: Out-of-band control-plane nodes (the centralized controller):
+        #: wired like any node but invisible to fabric oracles.
+        self.controllers: Dict[str, Node] = {}
         self.links: Dict[str, Link] = {}
         self._bridge_index = 0
         self._host_index = 0
@@ -64,6 +67,7 @@ class Network:
         self._mac_ranges: List[Tuple[int, int]] = []
         self._ip_ranges: List[Tuple[int, int]] = []
         self._started = False
+        self._finalized = False
         #: Called with each freshly registered Link. The sharded runtime
         #: (:mod:`repro.netsim.shard`) installs this to catch links
         #: created *after* partitioning — a host migrating to a bridge
@@ -140,6 +144,20 @@ class Network:
         self.populations[name] = pop
         return pop
 
+    def add_out_of_band(self, node: Node) -> Node:
+        """Register an out-of-band control-plane node (``out_of_band``
+        must be set on its class). Created by a family's
+        ``network_finalize`` hook, never by topology functions."""
+        name = node.name
+        if name in self.bridges or name in self.hosts \
+                or name in self.populations or name in self.controllers:
+            raise TopologyError(f"duplicate node name: {name}")
+        if not node.out_of_band:
+            raise TopologyError(
+                f"node {name} is not flagged out_of_band")
+        self.controllers[name] = node
+        return node
+
     def _claim_mac(self, mac: MAC) -> None:
         value = int(mac)
         if mac in self._used_macs \
@@ -157,9 +175,9 @@ class Network:
     # -- wiring ------------------------------------------------------------
 
     def node(self, name: str) -> Node:
-        """Look up a bridge, host or population by name."""
+        """Look up a bridge, host, population or controller by name."""
         found = self.bridges.get(name) or self.hosts.get(name) \
-            or self.populations.get(name)
+            or self.populations.get(name) or self.controllers.get(name)
         if found is None:
             raise TopologyError(f"unknown node: {name}")
         return found
@@ -326,8 +344,26 @@ class Network:
 
     # -- lifecycle -----------------------------------------------------------
 
+    def finalize_topology(self) -> None:
+        """Run the bridge family's ``network_finalize`` hook (idempotent).
+
+        Families that need network-level wiring beyond per-bridge
+        construction — the controller family creates its out-of-band
+        node and star links here — attach the hook to their factory
+        closure. Called automatically from :meth:`start` and from
+        :func:`repro.topology.partition.partition_network`, so both
+        single-engine and sharded paths see the finished topology.
+        """
+        if self._finalized:
+            return
+        self._finalized = True
+        hook = getattr(self.bridge_factory, "network_finalize", None)
+        if hook is not None:
+            hook(self)
+
     def start(self) -> None:
         """Start every node (idempotent); call after wiring is complete."""
+        self.finalize_topology()
         if self._started:
             return
         self._started = True
@@ -343,6 +379,9 @@ class Network:
         for pop in self.populations.values():
             if not pop.shard_ghost:
                 pop.start()
+        for controller in self.controllers.values():
+            if not controller.shard_ghost:
+                controller.start()
 
     def run(self, duration: float) -> None:
         """Start (if needed) and advance the simulation by *duration*."""
@@ -448,6 +487,8 @@ def graph_of(net: Network, fabric_only: bool = False,
     for name_a, name_b, wire in net.edges():
         if fabric_only and (name_a in net.hosts or name_b in net.hosts):
             continue
+        if name_a in net.controllers or name_b in net.controllers:
+            continue  # out-of-band star links carry no fabric traffic
         if not wire.up:
             continue
         graph.add_edge(name_a, name_b, latency=wire.latency, link=wire.name)

@@ -1,31 +1,30 @@
-"""Bridge factories: one per protocol under test.
+"""Bridge factories: one per protocol family under test.
 
 A factory fixes the protocol and its configuration; the topology
 functions take a factory so the same wiring can run every protocol —
 how the demo reuses one physical setup for both ARP-Path and STP.
+
+The authoritative registry lives in :mod:`repro.switching.base`: each
+family package registers a :class:`~repro.switching.base.BridgeFamily`
+descriptor at import, and everything here — the named convenience
+builders, the ``PROTOCOLS`` mapping, :func:`factory_for` — is a thin
+view over it. Adding a family means registering a descriptor in its
+own package; no edit here is needed.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
-from repro.core.bridge import ArpPathBridge
 from repro.core.config import ArpPathConfig, DEFAULT_CONFIG
-from repro.frames.mac import MAC
-from repro.netsim.engine import Simulator
-from repro.spb.bridge import SpbBridge
-from repro.stp.bridge import StpBridge, StpTimers
-from repro.switching.learning import LearningSwitch
+from repro.stp.bridge import StpTimers
+from repro.switching import base
 from repro.topology.builder import BridgeFactory
 
 
 def arppath(config: ArpPathConfig = DEFAULT_CONFIG) -> BridgeFactory:
     """A factory producing ARP-Path bridges with *config*."""
-
-    def build(sim: Simulator, name: str, mac: MAC) -> ArpPathBridge:
-        return ArpPathBridge(sim, name, mac, config=config)
-
-    return build
+    return base.family("arppath").factory(config)
 
 
 def stp(timers: StpTimers = StpTimers(),
@@ -36,12 +35,7 @@ def stp(timers: StpTimers = StpTimers(),
     lowest MAC wins root election (bridge creation order), exactly like
     an unconfigured ``bridge_utils`` deployment.
     """
-
-    def build(sim: Simulator, name: str, mac: MAC) -> StpBridge:
-        kwargs = {} if priority is None else {"priority": priority}
-        return StpBridge(sim, name, mac, timers=timers, **kwargs)
-
-    return build
+    return base.family("stp").factory(timers=timers, priority=priority)
 
 
 def stp_scaled(factor: float) -> BridgeFactory:
@@ -51,36 +45,57 @@ def stp_scaled(factor: float) -> BridgeFactory:
 
 def spb(**kwargs) -> BridgeFactory:
     """A factory producing link-state shortest-path bridges."""
-
-    def build(sim: Simulator, name: str, mac: MAC) -> SpbBridge:
-        return SpbBridge(sim, name, mac, **kwargs)
-
-    return build
+    return base.family("spb").factory(**kwargs)
 
 
 def learning() -> BridgeFactory:
     """A factory producing plain learning switches (loop-unsafe)."""
+    return base.family("learning").factory()
 
-    def build(sim: Simulator, name: str, mac: MAC) -> LearningSwitch:
-        return LearningSwitch(sim, name, mac)
 
-    return build
+def controller(**kwargs) -> BridgeFactory:
+    """A factory producing centrally managed (SDN) bridges."""
+    return base.family("controller").factory(**kwargs)
+
+
+class _ProtocolView(Dict[str, object]):
+    """``PROTOCOLS`` compatibility view over the family registry.
+
+    Looks and iterates like the old hand-written dict (name →
+    factory-builder) but always reflects the live registry.
+    """
+
+    def _refresh(self) -> None:
+        for fam in base.all_families():
+            dict.__setitem__(self, fam.name, fam.factory)
+
+    def __getitem__(self, name):  # type: ignore[override]
+        self._refresh()
+        return dict.__getitem__(self, name)
+
+    def __iter__(self):
+        self._refresh()
+        return dict.__iter__(self)
+
+    def __len__(self) -> int:
+        self._refresh()
+        return dict.__len__(self)
+
+    def __contains__(self, name) -> bool:  # type: ignore[override]
+        self._refresh()
+        return dict.__contains__(self, name)
 
 
 #: Name → factory-builder registry used by experiments and benches.
-PROTOCOLS = {
-    "arppath": arppath,
-    "stp": stp,
-    "spb": spb,
-    "learning": learning,
-}
+#: Derived from :func:`repro.switching.base.all_families`.
+PROTOCOLS = _ProtocolView()
 
 
 def factory_for(protocol: str, **kwargs) -> BridgeFactory:
-    """Look up a protocol by name and build its factory."""
+    """Look up a protocol family by name and build its factory."""
     try:
-        builder = PROTOCOLS[protocol]
+        fam = base.family(protocol)
     except KeyError:
-        known = ", ".join(sorted(PROTOCOLS))
+        known = ", ".join(sorted(base.family_names()))
         raise ValueError(f"unknown protocol {protocol!r} (known: {known})")
-    return builder(**kwargs)
+    return fam.factory(**kwargs)

@@ -103,6 +103,9 @@ def partition_network(net: Network, shard_count: int) -> ShardPlan:
     """
     if shard_count < 1:
         raise TopologyError(f"shard count must be >= 1: {shard_count}")
+    # Families with network-level wiring (the controller's out-of-band
+    # star) must finish it before ownership is decided.
+    net.finalize_topology()
     order = _bridge_bfs_order(net)
     if shard_count > len(order):
         raise TopologyError(
@@ -126,6 +129,12 @@ def partition_network(net: Network, shard_count: int) -> ShardPlan:
             if peer is None:
                 raise TopologyError(f"cannot shard detached host: {name}")
             node_shard[name] = node_shard[peer.node.name]
+
+    # Out-of-band controllers live on shard 0; their star links to
+    # bridges on other shards become ordinary cut links (latency rtt/2
+    # is positive, so they contribute lookahead like any fabric link).
+    for name in net.controllers:
+        node_shard[name] = 0
 
     cut: List[str] = []
     lookahead = float("inf")

@@ -1,0 +1,334 @@
+"""Tests for the centralized SDN/SPF controller family.
+
+Covers the pinned control-plane contracts: the packet-in/flow-install
+exchange (golden trace), idle vs hard flow timeouts through the
+AgingStore, deterministic ECMP splitting, and the barriered repair
+whose latency is exactly ``2 × rtt + install_latency``. A final
+registry-parametrized smoke instantiates every scenario × family cell
+through the bridge-family descriptor.
+"""
+
+import pytest
+
+from repro.frames.mac import mac_for_bridge
+from repro.netsim.engine import Simulator
+from repro.switching import base
+from repro.switching.controller import ControllerConfig
+from repro.switching.controller.bridge import FlowEntry
+from repro.testing import ping_once
+from repro.topology import controller, grid, line, ring
+
+RTT = ControllerConfig().rtt
+INSTALL = ControllerConfig().install_latency
+
+
+def controller_of(net):
+    return next(iter(net.controllers.values()))
+
+
+def warmed(sim, topo, *args, factory=None, warm=3.0):
+    net = topo(sim, factory if factory is not None else controller(), *args)
+    net.run(warm)
+    return net
+
+
+# -- discovery ---------------------------------------------------------------
+
+
+class TestDiscovery:
+    def test_controller_is_wired_out_of_band(self, sim):
+        net = warmed(sim, ring, 4)
+        ctl = controller_of(net)
+        assert ctl.out_of_band
+        assert "controller0" not in net.bridges
+        # The fabric oracle never sees the star links.
+        from repro.topology.builder import graph_of
+        assert ctl.name not in graph_of(net)
+
+    def test_graph_matches_fabric(self, sim):
+        net = warmed(sim, ring, 4)
+        ctl = controller_of(net)
+        assert ctl.graph.number_of_nodes() == 4
+        assert ctl.graph.number_of_edges() == 4
+        macs = {net.bridge(n).mac for n in net.bridges}
+        assert set(ctl.graph.nodes) == macs
+
+    def test_lldp_learns_link_latency(self, sim):
+        net = warmed(sim, ring, 4)
+        ctl = controller_of(net)
+        for _a, _b, data in ctl.graph.edges(data=True):
+            assert data["weight"] > 0
+            assert len(data["ports"]) == 2
+
+    def test_hosts_reported_on_first_frame(self, sim):
+        net = warmed(sim, ring, 4)
+        ctl = controller_of(net)
+        assert not ctl.hosts
+        net.host("H0").gratuitous_arp()
+        net.run(0.5)
+        assert ctl.hosts[net.host("H0").mac][0] == net.bridge("B0").mac
+
+
+# -- packet-in / flow-install (golden trace) ---------------------------------
+
+
+class TestPacketIn:
+    @pytest.fixture
+    def traced(self, sim):
+        """A warmed 3-bridge line with a spy on the controller inbox."""
+        net = warmed(sim, line, 3)
+        ctl = controller_of(net)
+        trace = []
+        inner = ctl.handle_frame
+
+        def spy(port, frame):
+            trace.append((frame.payload.op_name, frame.payload.origin,
+                          frame.payload.src))
+            inner(port, frame)
+
+        ctl.handle_frame = spy
+        return net, ctl, trace
+
+    def test_golden_trace_one_ping(self, traced):
+        """One ping = two host reports and exactly ONE packet-in.
+
+        The ARP request is broadcast (no miss); the unicast ARP reply
+        misses at its ingress and punts; the reverse pre-warm install
+        means the echo request then rides an already-programmed flow.
+        """
+        net, ctl, trace = traced
+        assert ping_once(net, "H0", "H1") is not None
+        interesting = [entry for entry in trace
+                       if entry[0] in ("HOST_REPORT", "PACKET_IN")]
+        h0, h1 = net.host("H0").mac, net.host("H1").mac
+        assert interesting == [
+            ("HOST_REPORT", net.bridge("B0").mac, h0),
+            ("HOST_REPORT", net.bridge("B2").mac, h1),
+            # The unicast ARP reply (H1 -> H0) misses at its ingress B2.
+            ("PACKET_IN", net.bridge("B2").mac, h1),
+        ]
+
+    def test_flows_programmed_along_path(self, traced):
+        net, ctl, _trace = traced
+        assert ping_once(net, "H0", "H1") is not None
+        # Both directions installed on all three bridges: 6 flow-mods.
+        assert ctl.counters.installs_sent == 6
+        for name in ("B0", "B1", "B2"):
+            bridge = net.bridge(name)
+            assert bridge.protocol_counters()["flow_installs"] == 2
+            assert bridge.state_entries() == 2
+        assert len(ctl.flows) == 2
+
+    def test_miss_buffers_frame_until_install(self, traced):
+        """The frame that missed is not lost: it is buffered and
+        forwarded once the flow-mod lands (counted, and the ping
+        succeeds on the very first try)."""
+        net, _ctl, _trace = traced
+        assert ping_once(net, "H0", "H1") is not None
+        counters = net.bridge("B2").protocol_counters()
+        assert counters["misses"] == 1
+        assert counters["frames_buffered"] == 1
+        assert counters["drops_buffer"] == 0
+
+    def test_second_ping_is_pure_dataplane(self, traced):
+        net, ctl, trace = traced
+        assert ping_once(net, "H0", "H1") is not None
+        del trace[:]
+        assert ping_once(net, "H0", "H1") is not None
+        assert [entry for entry in trace
+                if entry[0] in ("HOST_REPORT", "PACKET_IN")] == []
+
+
+# -- flow timeouts through the AgingStore ------------------------------------
+
+
+class TestFlowTimeouts:
+    def test_entry_refresh_capped_by_hard_deadline(self):
+        entry = FlowEntry(out_port=1, flood=False, idle=5.0,
+                          expires=5.0, hard_deadline=8.0)
+        entry.refresh(2.0)
+        assert entry.expires == 7.0
+        entry.refresh(6.0)  # now + idle would be 11.0 — the cap wins
+        assert entry.expires == 8.0
+
+    def test_idle_timeout_expires_without_traffic(self, sim):
+        net = warmed(sim, line, 3,
+                     factory=controller(flow_idle=0.3, flow_hard=60.0))
+        assert ping_once(net, "H0", "H1", timeout=0.1) is not None
+        assert net.bridge("B0").state_entries() == 2
+        net.run(1.0)  # silence > flow_idle
+        for name in ("B0", "B1", "B2"):
+            bridge = net.bridge(name)
+            assert bridge.state_entries() == 0
+            assert bridge.protocol_counters()["flow_expired"] == 2
+        # FLOW_EXPIRED notifications cleaned the controller's records.
+        assert not controller_of(net).flows
+
+    def test_traffic_refreshes_idle_timer(self, sim):
+        net = warmed(sim, line, 3,
+                     factory=controller(flow_idle=0.5, flow_hard=60.0))
+        assert ping_once(net, "H0", "H1", timeout=0.3) is not None
+        for _ in range(6):  # one ping every 0.3 s < flow_idle
+            assert ping_once(net, "H0", "H1", timeout=0.3) is not None
+        assert net.bridge("B0").protocol_counters()["flow_expired"] == 0
+        assert net.bridge("B0").state_entries() == 2
+
+    def test_hard_timeout_fires_despite_traffic(self, sim):
+        net = warmed(sim, line, 3,
+                     factory=controller(flow_idle=10.0, flow_hard=0.8))
+        assert ping_once(net, "H0", "H1", timeout=0.3) is not None
+        for _ in range(8):  # refreshed well within idle the whole time
+            assert ping_once(net, "H0", "H1", timeout=0.3) is not None
+        assert net.bridge("B0").protocol_counters()["flow_expired"] >= 1
+
+
+# -- ECMP --------------------------------------------------------------------
+
+
+class TestEcmp:
+    @staticmethod
+    def _installed(net):
+        """Flow tables as comparable data: bridge -> {key: out_port}."""
+        return {name: {key: entry.out_port
+                       for key, entry in net.bridge(name).flows.items()}
+                for name in sorted(net.bridges)}
+
+    @staticmethod
+    def _ecmp_run(seed):
+        sim = Simulator(seed=seed)
+        net = grid(sim, controller(ecmp=True), 2, 2)
+        net.run(3.0)
+        for src, dst in (("H0", "H3"), ("H1", "H2"), ("H2", "H1")):
+            assert ping_once(net, src, dst) is not None
+        return net
+
+    def test_ecmp_keys_are_pairs(self, sim):
+        net = warmed(sim, grid, 2, 2, factory=controller(ecmp=True))
+        assert ping_once(net, "H0", "H3") is not None
+        keys = list(net.bridge("B0_0").flows.items())
+        assert keys and all(isinstance(key, tuple) for key, _ in keys)
+
+    def test_ecmp_split_deterministic_at_fixed_seed(self):
+        first = self._installed(self._ecmp_run(7))
+        second = self._installed(self._ecmp_run(7))
+        assert first == second
+
+    def test_ecmp_spreads_flows_across_paths(self):
+        """On the 2×2 grid the two corner-to-corner paths are equal
+        cost; the CRC32 per-flow hash must not collapse every pair onto
+        one of them."""
+        sim = Simulator(seed=7)
+        net = grid(sim, controller(ecmp=True), 2, 2)
+        net.run(3.0)
+        hosts = sorted(net.hosts)
+        for src in hosts:
+            for dst in hosts:
+                if src != dst:
+                    assert ping_once(net, src, dst, timeout=0.5) is not None
+        used = {name for name in net.bridges
+                if net.bridge(name).flows}
+        assert used == set(net.bridges)  # both middle bridges carry flows
+
+
+# -- repair ------------------------------------------------------------------
+
+
+class TestRepair:
+    @pytest.fixture
+    def cut_ring(self, sim):
+        """A warmed 4-ring with live H0↔H1 flows, then the B0-B1 cut."""
+        net = warmed(sim, ring, 4)
+        assert ping_once(net, "H0", "H1") is not None
+        net.link_between("B0", "B1").take_down()
+        net.run(1.0)
+        return net
+
+    def test_repair_latency_is_two_rtts_plus_install(self, cut_ring):
+        """The ISSUE's pinned timeline: PORT_STATUS (½ RTT) →
+        FLOW_REMOVE (1 RTT) → REMOVE_ACK barrier (1½ RTT) →
+        FLOW_INSTALL lands (2 RTT) → programmed after the flow-mod
+        delay. Each cut-adjacent ingress records exactly that."""
+        expected = 2 * RTT + INSTALL
+        assert cut_ring.bridge("B0").repair_events() \
+            == [pytest.approx(expected)]
+        assert cut_ring.bridge("B1").repair_events() \
+            == [pytest.approx(expected)]
+
+    def test_repair_is_proactive(self, cut_ring):
+        """No post-cut traffic was needed: the controller repaired on
+        PORT_STATUS alone (no new packet-in during the repair)."""
+        ctl = controller_of(cut_ring)
+        assert ctl.counters.repairs_started == 1
+        assert ctl.counters.repairs_completed >= 1
+        assert cut_ring.bridge("B0").protocol_counters()[
+            "repairs_completed"] == 1
+
+    def test_reroute_survives_the_cut(self, cut_ring):
+        """Traffic flows the long way round after the repair."""
+        rtt = ping_once(cut_ring, "H0", "H1")
+        assert rtt is not None
+        assert controller_of(cut_ring).graph.number_of_edges() == 3
+
+    def test_graph_heals_on_link_up(self, cut_ring):
+        cut_ring.link_between("B0", "B1").bring_up()
+        cut_ring.run(3.0)
+        assert controller_of(cut_ring).graph.number_of_edges() == 4
+
+
+# -- the family descriptor and registry --------------------------------------
+
+
+class TestFamilyRegistry:
+    def test_controller_family_registered(self):
+        base.load_families()
+        fam = base.family("controller")
+        assert fam.loop_safe
+        assert fam.order == 50
+        option_names = {option.name for option in fam.options}
+        assert {"rtt", "install_latency", "flow_idle", "flow_hard",
+                "ecmp"} <= option_names
+
+    def test_family_names_order_and_loop_safety(self):
+        assert list(base.family_names()) == ["arppath", "stp", "spb",
+                                             "learning", "controller"]
+        assert list(base.family_names(loop_safe_only=True)) \
+            == ["arppath", "stp", "spb", "controller"]
+
+    def test_control_ethertypes_union(self):
+        ethertypes = base.control_ethertypes()
+        assert 0x88B7 in ethertypes  # the controller channel
+        assert list(ethertypes) == sorted(ethertypes)
+
+    def test_describe_is_schema_ready(self):
+        info = base.family("controller").describe()
+        assert info["name"] == "controller"
+        assert any(option["name"] == "rtt" for option in info["config"])
+        assert "0x88b7" in info["control_ethertypes"]
+
+
+def _scenario_family_cells():
+    from repro.experiments import registry
+    registry.load_all()
+    cells = []
+    for scenario in registry.all_scenarios():
+        for param in scenario.params:
+            if param.name in ("protocol", "protocols") \
+                    and param.choices is not None:
+                for choice in param.choices:
+                    cells.append((scenario.name, choice))
+    return cells
+
+
+@pytest.mark.parametrize("scenario_name,family", _scenario_family_cells())
+def test_every_scenario_family_cell_instantiates(scenario_name, family):
+    """Every scenario × family cell resolves through the descriptor:
+    spec() finds the family, its factory builds a bridge, and the
+    registry-derived warmup is sane."""
+    from repro.experiments.common import spec
+
+    protocol = spec(family)
+    assert protocol.warmup > 0
+    sim = Simulator(seed=0)
+    bridge = protocol.factory(sim, "B0", mac_for_bridge(0))
+    assert bridge.name == "B0"
+    assert bridge.protocol_counters() is not None
