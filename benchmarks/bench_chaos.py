@@ -1,0 +1,116 @@
+"""EXP-E6: fault-tolerance overhead and recovery latency (supporting).
+
+Two questions the PR-10 execution-robustness layer must answer with
+numbers, not vibes:
+
+1. **What does crash isolation cost when nothing crashes?** The
+   crash-isolated pool (per-worker result pipes, liveness reaping,
+   retry bookkeeping) runs on every parallel sweep. ``fault_free``
+   measures cells/second of a proxy grid at ``jobs=2`` with a retry
+   budget armed but no faults injected — the steady-state tax.
+2. **How fast is recovery when a worker dies?** ``kill_recovery``
+   runs the same grid with a seeded ``KillWorker`` fault (one worker
+   ``os._exit`` mid-cell) and one retry: the wall time covers
+   detecting the corpse, respawning a worker and re-running the cell,
+   and the run must still end ``report.ok`` with every row intact.
+
+Run with ``pytest benchmarks/bench_chaos.py --benchmark-only``.
+
+``python benchmarks/bench_chaos.py`` re-measures and rewrites
+``benchmarks/BENCH_chaos.json``. Wall numbers are single-machine
+noisy (see the bench-noise protocol in check_regression.py); the
+regression guard only compares the fault-free throughput.
+"""
+
+import multiprocessing
+import time
+
+from repro.chaos.faults import KillWorker
+from repro.experiments import registry, runner
+
+#: Eight cells of the tiny proxy case: enough to keep a 2-worker pool
+#: busy on both sides of an injected crash, cheap enough for CI.
+SEEDS = list(range(8))
+JOBS = 2
+
+
+def proxy_cells():
+    registry.load_all()
+    return runner.expand_grid(
+        ["proxy"], seeds=SEEDS,
+        axes={"rows": [2], "cols": [2], "rounds": [1]})
+
+
+def run_fault_free() -> runner.SweepReport:
+    return runner.SweepRunner(proxy_cells(), jobs=JOBS, retries=1).run()
+
+
+def run_kill_recovery() -> runner.SweepReport:
+    hook = KillWorker(cell_index=3, kills=1)
+    return runner.SweepRunner(proxy_cells(), jobs=JOBS, retries=1,
+                              cell_hook=hook).run()
+
+
+def test_fault_free_throughput(benchmark):
+    report = benchmark.pedantic(run_fault_free, rounds=1, iterations=1)
+    assert report.ok and len(report.cells) == len(SEEDS)
+    assert not report.retried
+
+
+def test_kill_recovery(benchmark):
+    report = benchmark.pedantic(run_kill_recovery, rounds=1,
+                                iterations=1)
+    assert report.ok
+    assert {r.cell.index for r in report.retried} == {3}
+
+
+def _measure(fn, rounds: int = 3) -> float:
+    """Best wall-clock seconds over *rounds* runs (after one warm-up)."""
+    fn()
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def regenerate_baseline(path: str = None) -> dict:
+    """Measure fault-tolerance overhead and write BENCH_chaos.json."""
+    import os
+
+    from repro.metrics.report import write_json
+
+    if path is None:
+        path = os.path.join(os.path.dirname(__file__),
+                            "BENCH_chaos.json")
+
+    cells = len(proxy_cells())
+    fault_free_dt = _measure(run_fault_free)
+    recovery_dt = _measure(run_kill_recovery)
+    baseline = {
+        "grid": {
+            "description": "sweep proxy --seeds 0..7 --set rows=2 "
+                           "cols=2 rounds=1 at jobs=2, retry budget 1",
+            "cells": cells,
+        },
+        "cpus": multiprocessing.cpu_count(),
+        "fault_free": {
+            "wall_seconds": round(fault_free_dt, 6),
+            "cells_per_sec": round(cells / fault_free_dt, 3),
+        },
+        "kill_recovery": {
+            "wall_seconds": round(recovery_dt, 6),
+            "cells_per_sec": round(cells / recovery_dt, 3),
+            "recovery_overhead_seconds": round(
+                max(0.0, recovery_dt - fault_free_dt), 6),
+        },
+    }
+    write_json(path, baseline)
+    return baseline
+
+
+if __name__ == "__main__":
+    import json
+
+    print(json.dumps(regenerate_baseline(), indent=2, sort_keys=True))

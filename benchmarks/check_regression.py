@@ -6,7 +6,8 @@ sweep-runner (``bench_sweep.regenerate_baseline``), scale
 (``bench_shard.regenerate_baseline``) benchmarks, writes the fresh JSON
 next to ``--out-dir`` (CI uploads it as an artifact), and compares the
 throughput figures against ``BENCH_engine.json`` / ``BENCH_sweep.json``
-/ ``BENCH_scale.json`` / ``BENCH_shard.json`` with a generous noise
+/ ``BENCH_scale.json`` / ``BENCH_shard.json`` /
+``BENCH_chaos.json`` with a generous noise
 tolerance.
 
 Per the bench-noise protocol, wall-clock numbers on shared runners are
@@ -42,7 +43,8 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 sys.path.insert(0, os.path.join(os.path.dirname(HERE), "src"))
 sys.path.insert(0, HERE)
 
-import bench_controller  # noqa: E402  (path set up above)
+import bench_chaos  # noqa: E402  (path set up above)
+import bench_controller  # noqa: E402
 import bench_scale  # noqa: E402
 import bench_shard  # noqa: E402
 import bench_sweep  # noqa: E402
@@ -129,11 +131,14 @@ def main(argv=None):
         os.path.join(args.out_dir, "BENCH_shard.json"))
     fresh_controller = bench_controller.regenerate_baseline(
         os.path.join(args.out_dir, "BENCH_controller.json"))
+    fresh_chaos = bench_chaos.regenerate_baseline(
+        os.path.join(args.out_dir, "BENCH_chaos.json"))
     base_engine = _load("BENCH_engine.json")
     base_sweep = _load("BENCH_sweep.json")
     base_scale = _load("BENCH_scale.json")
     base_shard = _load("BENCH_shard.json")
     base_controller = _load("BENCH_controller.json")
+    base_chaos = _load("BENCH_chaos.json")
 
     # (label, baseline, fresh) — all higher-is-better throughputs.
     checks = [
@@ -149,6 +154,10 @@ def main(argv=None):
         ("sweep jobs=1 cells/s",
          _dig(base_sweep, "BENCH_sweep.json", "jobs_1", "cells_per_sec"),
          fresh_sweep["jobs_1"]["cells_per_sec"]),
+        ("chaos pool fault-free cells/s",
+         _dig(base_chaos, "BENCH_chaos.json", "fault_free",
+              "cells_per_sec"),
+         fresh_chaos["fault_free"]["cells_per_sec"]),
     ]
     # (label, baseline, fresh) — lower-is-better efficiency metrics:
     # the tolerance check is inverted (fail when fresh RISES past the

@@ -1,0 +1,137 @@
+"""Picklable, deterministic fault injectors for the execution layer.
+
+Cell faults are ``cell_hook`` callables for
+:class:`repro.experiments.runner.SweepRunner`: the runner calls
+``hook(cell, attempt)`` inside the worker before each attempt, so a
+fault keyed on ``(cell.index, attempt)`` fires at exactly the planned
+execution and nowhere else. They carry no mutable state — a fresh
+worker process replays the same decision from the same arguments —
+which is what makes a chaos run reproducible.
+
+``FlakyWrites`` is the store-side seam: assigned to
+:attr:`repro.server.store.Store.write_fault`, it raises ``OSError``
+on chosen append transactions (the store rolls the transaction back,
+keeping the checkpoint invariant intact).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import List, Optional, Sequence
+
+from repro.experiments.runner import SweepCell
+
+
+class KillWorker:
+    """``os._exit`` the pool worker running cell *cell_index*.
+
+    Fires on attempts ``0 .. kills-1``, so with ``kills=1`` the retry
+    succeeds; with ``kills > retries`` the cell terminates
+    ``failed_permanent``. Pool mode only — in a ``jobs=1`` serial run
+    this would exit the *caller's* process (by design: that is what a
+    crash does).
+    """
+
+    def __init__(self, cell_index: int, kills: int = 1,
+                 exit_code: int = 137):
+        self.cell_index = cell_index
+        self.kills = kills
+        self.exit_code = exit_code
+
+    def __call__(self, cell: SweepCell, attempt: int) -> None:
+        if cell.index == self.cell_index and attempt < self.kills:
+            os._exit(self.exit_code)
+
+    def __repr__(self) -> str:
+        return (f"KillWorker(cell_index={self.cell_index}, "
+                f"kills={self.kills})")
+
+
+class RaiseError:
+    """Raise inside the worker for cell *cell_index*.
+
+    The exception is caught by the runner's attempt boundary like any
+    experiment error, so with ``failures <= retries`` the cell still
+    completes — with byte-identical rows, since the attempt number
+    never reaches the experiment.
+    """
+
+    def __init__(self, cell_index: int, failures: int = 1,
+                 message: str = "chaos: injected transient fault"):
+        self.cell_index = cell_index
+        self.failures = failures
+        self.message = message
+
+    def __call__(self, cell: SweepCell, attempt: int) -> None:
+        if cell.index == self.cell_index and attempt < self.failures:
+            raise OSError(self.message)
+
+    def __repr__(self) -> str:
+        return (f"RaiseError(cell_index={self.cell_index}, "
+                f"failures={self.failures})")
+
+
+class FaultSet:
+    """Compose several cell faults into one hook (all are consulted)."""
+
+    def __init__(self, *faults):
+        self.faults = faults
+
+    def __call__(self, cell: SweepCell, attempt: int) -> None:
+        for fault in self.faults:
+            fault(cell, attempt)
+
+    def __repr__(self) -> str:
+        return f"FaultSet{tuple(self.faults)!r}"
+
+
+def seeded_plan(seed: int, cells_total: int, kills: int = 1,
+                errors: int = 1) -> FaultSet:
+    """A deterministic fault plan drawn from *seed*.
+
+    Picks *kills* distinct cells to lose their worker once and
+    *errors* distinct cells to raise once (disjoint sets when the grid
+    allows). The same seed always plans the same faults — the property
+    the chaos parity suite leans on.
+    """
+    if cells_total < 1:
+        raise ValueError("cells_total must be >= 1")
+    rng = random.Random(seed)
+    indices = list(range(cells_total))
+    rng.shuffle(indices)
+    wanted = min(kills + errors, cells_total)
+    picked = indices[:wanted]
+    faults: List[object] = [KillWorker(index)
+                            for index in picked[:kills]]
+    faults += [RaiseError(index) for index in picked[kills:]]
+    return FaultSet(*faults)
+
+
+class FlakyWrites:
+    """Raise ``OSError`` on chosen store append transactions.
+
+    *fail_on* names the 1-based append-call numbers that fail (e.g.
+    ``{2}`` fails only the second append). The hook fires inside the
+    store's transaction, after the SQL ran but before commit — the
+    store rolls back, so a failed write leaves records and checkpoint
+    exactly as they were (the atomicity the resume invariant needs).
+    Unlike the cell faults this one is stateful (a call counter): it
+    lives in the daemon process and is never pickled.
+    """
+
+    def __init__(self, fail_on: Sequence[int],
+                 message: str = "chaos: injected store write fault"):
+        self.fail_on = frozenset(fail_on)
+        self.message = message
+        self.calls = 0
+        self.failures = 0
+
+    def __call__(self, job_id: int, lines: Optional[List[str]]) -> None:
+        self.calls += 1
+        if self.calls in self.fail_on:
+            self.failures += 1
+            raise OSError(f"{self.message} (append #{self.calls})")
+
+    def __repr__(self) -> str:
+        return f"FlakyWrites(fail_on={sorted(self.fail_on)})"

@@ -127,7 +127,8 @@ def _run_sweep(args: argparse.Namespace) -> int:
         name, values = _parse_axis(token, scenarios)
         axes[name] = values
     cells = runner.expand_grid(args.scenarios, args.seeds, axes)
-    sweep = runner.SweepRunner(cells, jobs=args.jobs)
+    sweep = runner.SweepRunner(cells, jobs=args.jobs,
+                               retries=args.retries)
 
     print(f"sweep: {len(cells)} cells "
           f"({', '.join(args.scenarios)}; seeds {args.seeds}; "
@@ -137,6 +138,8 @@ def _run_sweep(args: argparse.Namespace) -> int:
     for result in sweep.stream():
         done += 1
         status = "ok" if result.ok else "ERROR"
+        if result.retried:
+            status += f" (attempt {result.attempts})"
         print(f"[{done}/{len(cells)}] {result.cell.label()} "
               f"{result.elapsed:.2f}s {status}", file=sys.stderr)
         if not result.ok and not args.keep_going:
@@ -197,6 +200,10 @@ def _add_sweep(subparsers) -> None:
                         help="write the raw result rows as canonical "
                              "NDJSON (byte-identical to the serve "
                              "daemon's record stream)")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="per-cell retry budget: re-run a failed "
+                             "or crashed cell up to N extra times with "
+                             "deterministic backoff (default: 0)")
     parser.add_argument("--keep-going", action="store_true",
                         help="run remaining cells after a cell fails")
     parser.set_defaults(run=_run_sweep)

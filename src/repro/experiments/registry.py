@@ -417,6 +417,16 @@ def submission_schema() -> Dict[str, Any]:
                 "description": "per-job wall-clock budget in seconds "
                                "(null = the server's --job-timeout)",
             },
+            "retries": {
+                "type": "integer",
+                "minimum": 0,
+                "maximum": 10,
+                "default": 0,
+                "description": "per-cell retry budget: re-run a "
+                               "failed or crashed cell up to N extra "
+                               "times with deterministic backoff "
+                               "(`repro sweep --retries N`)",
+            },
         },
         "additionalProperties": False,
         "required": ["scenario"],

@@ -3,7 +3,7 @@
 A sweep is a list of :class:`SweepCell` — one (scenario, seed, param
 overrides) triple per cell, produced by :func:`expand_grid` from the
 cross product of scenarios x seeds x sweep axes. :class:`SweepRunner`
-executes cells on a ``multiprocessing`` pool (``jobs=1`` runs in
+executes cells on a crash-isolated worker pool (``jobs=1`` runs in
 process, no pool) and streams :class:`CellResult` objects as they
 complete.
 
@@ -12,13 +12,31 @@ fresh ``Simulator(seed=cell.seed)``, and cells share no state — so the
 per-cell rows are identical at any ``jobs`` level, and the aggregation
 (:func:`repro.metrics.stats.aggregate_rows`) sorts its groups, making
 the summary byte-identical too.
+
+Fault tolerance: the pool assigns each cell to exactly one worker
+process at a time and watches worker liveness, so a worker that dies
+mid-cell (segfault, OOM kill, ``os._exit``) fails only *its* cell — the
+parent synthesizes a :class:`WorkerCrashError` result naming the cell
+and respawns a fresh worker; the stream never aborts mid-iteration.
+Failed attempts (crash or raise) are retried up to ``retries`` times
+with a deterministic exponential-backoff schedule
+(:func:`backoff_schedule`: seeded jitter, monotone non-decreasing), and
+a cell that exhausts its budget terminates as
+:data:`FAILED_PERMANENT` — partial sweeps still return every good row.
+``cell_hook`` is the chaos-injection seam (:mod:`repro.chaos`): a
+picklable callable run inside the worker before each attempt.
 """
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
+import pickle
+import random
 import time
 import traceback
+from multiprocessing import connection as mp_connection
+from collections import deque
 from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
                     Sequence, Tuple)
@@ -29,6 +47,33 @@ from repro.metrics.stats import aggregate_rows
 #: Overrides are stored as a sorted tuple of (name, value) pairs with
 #: list values frozen to tuples, so cells are hashable and picklable.
 Overrides = Tuple[Tuple[str, Any], ...]
+
+#: Terminal cell statuses: every yielded CellResult carries one.
+OK = "ok"
+FAILED_PERMANENT = "failed_permanent"
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker died (signal/exit) while executing a sweep cell.
+
+    Raised nowhere — the pool *synthesizes* the failed attempt instead
+    of aborting the stream — but its name prefixes the cell's error
+    text so callers (and ``job.error`` over HTTP) can tell a worker
+    death from an ordinary experiment exception.
+    """
+
+    def __init__(self, cell: "SweepCell", exitcode: Optional[int],
+                 attempt: int):
+        super().__init__(
+            f"pool worker died running cell {cell.label()} "
+            f"(exitcode {exitcode}, attempt {attempt + 1})")
+        self.cell = cell
+        self.exitcode = exitcode
+        self.attempt = attempt
+
+    def describe(self) -> str:
+        """The error text stored on the cell result."""
+        return f"WorkerCrashError: {self}"
 
 
 @dataclass(frozen=True)
@@ -60,12 +105,22 @@ def _brief(value: Any) -> str:
 
 @dataclass
 class CellResult:
-    """A finished cell: its rows (tagged with cell identity) or error."""
+    """A finished cell: its rows (tagged with cell identity) or error.
+
+    ``attempts`` counts every execution try (1 = first attempt
+    succeeded); ``retried`` is true when at least one earlier attempt
+    failed; ``status`` is :data:`OK` or :data:`FAILED_PERMANENT` (the
+    retry budget is spent and ``error`` holds the last attempt's
+    failure).
+    """
 
     cell: SweepCell
     rows: List[Dict[str, Any]] = field(default_factory=list)
     elapsed: float = 0.0
     error: Optional[str] = None
+    attempts: int = 1
+    retried: bool = False
+    status: str = OK
 
     @property
     def ok(self) -> bool:
@@ -116,12 +171,51 @@ def expand_grid(scenarios: Sequence[str], seeds: Sequence[int],
     return cells
 
 
-def execute_cell(cell: SweepCell) -> CellResult:
-    """Run one cell to rows (module-level so pool workers can pickle it)."""
+#: Backoff jitter spread: each delay is the exponential base scaled by
+#: a seeded factor in [1, 1 + _JITTER). The spread stays below the 2x
+#: growth between attempts, so the schedule is monotone by
+#: construction (2 / (1 + _JITTER) > 1).
+_JITTER = 0.5
+
+#: Golden-ratio multiplier decorrelating per-cell jitter streams.
+_BACKOFF_MIX = 0x9E3779B9
+
+
+def backoff_schedule(retries: int, base: float = 0.05, cap: float = 2.0,
+                     seed: int = 0, cell_index: int = 0) -> List[float]:
+    """Delays (seconds) before each retry of one cell.
+
+    Deterministic: a pure function of ``(retries, base, cap, seed,
+    cell_index)`` — re-running a sweep replays the identical schedule.
+    Exponential with seeded jitter, clamped to *cap*, and monotone
+    non-decreasing (pinned by a hypothesis property test): the jitter
+    spread is smaller than the 2x growth step, and clamping a monotone
+    sequence preserves monotonicity.
+    """
+    rng = random.Random((seed * _BACKOFF_MIX) ^ cell_index ^ 0x5EED)
+    return [min(cap, base * (2.0 ** attempt) * (1.0 + _JITTER
+                                                * rng.random()))
+            for attempt in range(max(retries, 0))]
+
+
+def execute_cell(cell: SweepCell, attempt: int = 0,
+                 hook: Optional[Callable[[SweepCell, int], None]] = None
+                 ) -> CellResult:
+    """Run one cell to rows (module-level so pool workers can pickle it).
+
+    *hook* is the chaos-injection seam: called as ``hook(cell,
+    attempt)`` before the experiment runs, inside the error boundary —
+    a hook that raises fails this attempt like any experiment error
+    (and a hook that ``os._exit``\\ s kills the worker, exercising the
+    crash path). The attempt number never reaches the experiment, so
+    retried cells reproduce byte-identical rows.
+    """
     registry.load_all()
     scenario = registry.get(cell.scenario)
     started = time.perf_counter()
     try:
+        if hook is not None:
+            hook(cell, attempt)
         params = scenario.bind(cell.params())
         params["seeds"] = [cell.seed]
         result = scenario.run(**params)
@@ -146,14 +240,114 @@ def execute_cell(cell: SweepCell) -> CellResult:
 _CANCEL_POLL_S = 0.05
 
 
-class SweepRunner:
-    """Execute sweep cells, in process or on a multiprocessing pool."""
+def _pool_worker_main(tasks: Any, results: Any) -> None:
+    """One pool worker: run assigned cells until the sentinel.
 
-    def __init__(self, cells: Sequence[SweepCell], jobs: int = 1):
+    Results are pickled explicitly (an unpicklable payload surfaces as
+    this attempt's error instead of a silent death) and sent over this
+    worker's *private* pipe — no queue or lock is shared between
+    workers, so a worker dying mid-write (``os._exit``, OOM kill)
+    corrupts only its own channel, never a sibling's.
+    """
+    registry.load_all()
+    while True:
+        task = tasks.get()
+        if task is None:
+            return
+        cell, attempt, hook = task
+        result = execute_cell(cell, attempt=attempt, hook=hook)
+        try:
+            payload = pickle.dumps((cell.index, result))
+        except Exception:
+            payload = pickle.dumps((cell.index, CellResult(
+                cell=cell, error="result not picklable:\n"
+                + traceback.format_exc())))
+        results.send_bytes(payload)
+
+
+class _PoolWorker:
+    """One crash-isolated worker: private task queue + result pipe."""
+
+    def __init__(self, context):
+        self.tasks = context.SimpleQueue()
+        self.conn, child_conn = context.Pipe(duplex=False)
+        self.process = context.Process(
+            target=_pool_worker_main, args=(self.tasks, child_conn),
+            daemon=True)
+        self.process.start()
+        child_conn.close()  # parent keeps only the read end
+
+    def assign(self, cell: SweepCell, attempt: int,
+               hook: Optional[Callable]) -> None:
+        self.tasks.put((cell, attempt, hook))
+
+    def drain(self) -> List[bytes]:
+        """Every complete result payload currently buffered.
+
+        A dead worker's pipe is drained the same way: complete
+        messages sent before the crash are preserved, and the torn
+        tail (or plain EOF) is swallowed — the liveness check turns
+        the missing result into a :class:`WorkerCrashError` attempt.
+        """
+        payloads: List[bytes] = []
+        try:
+            while self.conn.poll():
+                payloads.append(self.conn.recv_bytes())
+        except (EOFError, OSError):
+            pass
+        return payloads
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def stop(self) -> None:
+        self.process.terminate()
+        self.process.join()
+        self.conn.close()
+
+
+class SweepRunner:
+    """Execute sweep cells, in process or on a crash-isolated pool.
+
+    ``retries`` is the per-cell retry budget: a failed attempt (raise
+    or worker death) re-runs after its :func:`backoff_schedule` delay,
+    up to ``retries`` extra attempts; ``retry_seed`` seeds the backoff
+    jitter. ``cell_hook`` (picklable, run inside the worker) and
+    ``sleep`` (serial-path delay, injectable for tests) are the chaos
+    seams.
+    """
+
+    def __init__(self, cells: Sequence[SweepCell], jobs: int = 1,
+                 retries: int = 0, backoff_base: float = 0.05,
+                 backoff_cap: float = 2.0, retry_seed: int = 0,
+                 cell_hook: Optional[Callable[[SweepCell, int],
+                                              None]] = None,
+                 sleep: Callable[[float], None] = time.sleep):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.cells = list(cells)
         self.jobs = jobs
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.retry_seed = retry_seed
+        self.cell_hook = cell_hook
+        self._sleep = sleep
+
+    def _delays(self, cell: SweepCell) -> List[float]:
+        return backoff_schedule(self.retries, base=self.backoff_base,
+                                cap=self.backoff_cap,
+                                seed=self.retry_seed,
+                                cell_index=cell.index)
+
+    @staticmethod
+    def _finalize(result: CellResult, attempt: int) -> CellResult:
+        result.attempts = attempt + 1
+        result.retried = attempt > 0
+        result.status = OK if result.ok else FAILED_PERMANENT
+        return result
 
     def stream(self, cancel: Optional[Callable[[], bool]] = None
                ) -> Iterator[CellResult]:
@@ -169,33 +363,120 @@ class SweepRunner:
         """
         cancelled = cancel if cancel is not None else (lambda: False)
         if self.jobs == 1 or len(self.cells) <= 1:
-            for cell in self.cells:
-                if cancelled():
-                    return
-                yield execute_cell(cell)
+            yield from self._stream_serial(cancelled)
             return
-        context = multiprocessing.get_context()
-        pool = context.Pool(processes=min(self.jobs, len(self.cells)))
-        try:
-            results = pool.imap_unordered(execute_cell, self.cells)
-            pending = len(self.cells)
-            while pending:
+        yield from self._stream_pool(cancelled)
+
+    def _stream_serial(self, cancelled: Callable[[], bool]
+                       ) -> Iterator[CellResult]:
+        for cell in self.cells:
+            if cancelled():
+                return
+            delays = self._delays(cell)
+            for attempt in range(self.retries + 1):
+                result = execute_cell(cell, attempt=attempt,
+                                      hook=self.cell_hook)
+                if result.ok or attempt >= self.retries:
+                    yield self._finalize(result, attempt)
+                    break
+                self._sleep(delays[attempt])
                 if cancelled():
-                    pool.terminate()
                     return
-                try:
-                    result = results.next(timeout=_CANCEL_POLL_S)
-                except multiprocessing.TimeoutError:
-                    continue
-                except StopIteration:
+
+    def _stream_pool(self, cancelled: Callable[[], bool]
+                     ) -> Iterator[CellResult]:
+        context = multiprocessing.get_context()
+        workers = [_PoolWorker(context)
+                   for _ in range(min(self.jobs, len(self.cells)))]
+        pending = deque(self.cells)     # cells awaiting (re)dispatch
+        retry_at: List[Tuple[float, int, SweepCell]] = []  # backoff heap
+        attempts: Dict[int, int] = {cell.index: 0 for cell in self.cells}
+        busy: Dict[int, SweepCell] = {}  # worker slot -> running cell
+        done: set = set()
+        try:
+            while len(done) < len(self.cells):
+                if cancelled():
                     return
-                pending -= 1
-                yield result
+                now = time.monotonic()
+                while retry_at and retry_at[0][0] <= now:
+                    cell = heapq.heappop(retry_at)[2]
+                    if cell.index not in done:
+                        pending.append(cell)
+                # Dispatch: one cell per idle worker.
+                for slot, worker in enumerate(workers):
+                    if slot in busy or not pending:
+                        continue
+                    cell = pending.popleft()
+                    if cell.index in done:
+                        continue
+                    worker.assign(cell, attempts[cell.index],
+                                  self.cell_hook)
+                    busy[slot] = cell
+                def handle(payloads: List[bytes]
+                           ) -> Iterator[CellResult]:
+                    for payload in payloads:
+                        index, result = pickle.loads(payload)
+                        if index in done:
+                            continue  # stale dup of a settled cell
+                        for slot, cell in list(busy.items()):
+                            if cell.index == index:
+                                del busy[slot]
+                                break
+                        settled = self._settle(result, attempts,
+                                               retry_at, done)
+                        if settled is not None:
+                            yield settled
+
+                # Reap: bounded wait keeps cancel + the liveness check
+                # responsive; drain every ready pipe (a dead worker's
+                # conn reports ready too — drain() preserves complete
+                # messages it sent before dying and swallows the tear).
+                raw: List[bytes] = []
+                if mp_connection.wait([w.conn for w in workers],
+                                      timeout=_CANCEL_POLL_S):
+                    for worker in workers:
+                        raw.extend(worker.drain())
+                yield from handle(raw)
+                # Liveness: a dead worker fails only the cell it was
+                # running; the pool heals with a fresh process.
+                for slot, worker in enumerate(workers):
+                    if worker.alive():
+                        continue
+                    # Results it finished sending before dying still
+                    # count; only the torn tail becomes a crash.
+                    yield from handle(worker.drain())
+                    exitcode = worker.process.exitcode
+                    worker.process.join()
+                    worker.conn.close()
+                    crashed = busy.pop(slot, None)
+                    workers[slot] = _PoolWorker(context)
+                    if crashed is None or crashed.index in done:
+                        continue
+                    attempt = attempts[crashed.index]
+                    crash = WorkerCrashError(crashed, exitcode, attempt)
+                    settled = self._settle(
+                        CellResult(cell=crashed, error=crash.describe()),
+                        attempts, retry_at, done)
+                    if settled is not None:
+                        yield settled
         finally:
-            # terminate() is idempotent; on the normal path the workers
-            # are already idle, so this is just the fast close.
-            pool.terminate()
-            pool.join()
+            for worker in workers:
+                worker.stop()
+
+    def _settle(self, result: CellResult, attempts: Dict[int, int],
+                retry_at: List[Tuple[float, int, SweepCell]],
+                done: set) -> Optional[CellResult]:
+        """Finalize a pool attempt, or schedule its backoff retry."""
+        cell = result.cell
+        attempt = attempts[cell.index]
+        if result.ok or attempt >= self.retries:
+            done.add(cell.index)
+            return self._finalize(result, attempt)
+        attempts[cell.index] = attempt + 1
+        delay = self._delays(cell)[attempt]
+        heapq.heappush(retry_at,
+                       (time.monotonic() + delay, cell.index, cell))
+        return None
 
     def run(self) -> "SweepReport":
         """Execute every cell and return the collected report."""
@@ -216,6 +497,22 @@ class SweepReport:
     @property
     def errors(self) -> List[CellResult]:
         return [result for result in self.cells if not result.ok]
+
+    @property
+    def attempts(self) -> int:
+        """Total execution attempts across the sweep (>= len(cells))."""
+        return sum(result.attempts for result in self.cells)
+
+    @property
+    def retried(self) -> List[CellResult]:
+        """Cells that needed more than one attempt."""
+        return [result for result in self.cells if result.retried]
+
+    @property
+    def permanent_failures(self) -> List[CellResult]:
+        """Cells that exhausted their retry budget."""
+        return [result for result in self.cells
+                if result.status == FAILED_PERMANENT]
 
     def rows(self) -> List[Dict[str, Any]]:
         """Every tagged row from every successful cell, in cell order."""
@@ -255,6 +552,9 @@ class SweepReport:
                                           if isinstance(v, tuple) else v)
                                          for k, v in r.cell.overrides),
                        "elapsed_s": round(r.elapsed, 6),
+                       "attempts": r.attempts,
+                       "retried": r.retried,
+                       "status": r.status,
                        "error": r.error}
                       for r in self.cells],
             "rows": self.rows(),

@@ -68,8 +68,10 @@ cross-phase traffic.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue as queue_mod
 import threading
+import time
 import traceback
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -91,6 +93,125 @@ _SEED_MIX = 0x9E3779B9
 
 class ShardWorkerError(RuntimeError):
     """One or more shard workers failed; carries their tracebacks."""
+
+
+class ShardStallError(ShardWorkerError):
+    """The conservative protocol stopped advancing within the budget.
+
+    Raised by :func:`run_sharded`'s watchdog when no shard's progress
+    cell (horizon, local time, staged depth) changed for the stall
+    budget — the signature of a deadlocked or wedged mesh (a worker
+    blocked outside the protocol, a lost message, a cut-link lookahead
+    bug). Carries ``snapshot``: the per-shard progress board at the
+    moment of the abort, so CI logs show *where* the mesh wedged
+    instead of a bare timeout.
+    """
+
+    def __init__(self, message: str,
+                 snapshot: Dict[int, Dict[str, float]]):
+        super().__init__(message)
+        self.snapshot = snapshot
+
+
+#: Default watchdog budget (seconds without observable progress before
+#: a sharded run is declared stalled); REPRO_SHARD_STALL_S overrides.
+_DEFAULT_STALL_S = 300.0
+
+#: Floats per shard on the progress board: rounds, horizon, now,
+#: staged. ``rounds`` is excluded from the stall fingerprint — a
+#: livelocked mesh can spin rounds without the conservative minimum
+#: moving, and that must still count as a stall.
+_BOARD_FIELDS = 4
+
+
+class ProgressBoard:
+    """Per-shard protocol progress, shared with the parent watchdog.
+
+    One flat float vector, ``_BOARD_FIELDS`` cells per shard, written
+    lock-free by each worker from :meth:`ShardRuntime.run_until` (each
+    shard owns its slice; the watchdog only ever reads, and a torn read
+    merely delays or hastens one stall check by a round). Thread mode
+    backs it with a plain list, process mode with a
+    ``multiprocessing.Array`` the children inherit.
+    """
+
+    def __init__(self, shard_count: int, cells: Any = None):
+        self.shard_count = shard_count
+        self.cells = cells if cells is not None \
+            else [0.0] * (_BOARD_FIELDS * shard_count)
+
+    @classmethod
+    def shared(cls, shard_count: int) -> "ProgressBoard":
+        return cls(shard_count, multiprocessing.Array(
+            "d", _BOARD_FIELDS * shard_count, lock=False))
+
+    def update(self, shard_id: int, rounds: int, horizon: float,
+               now: float, staged: int) -> None:
+        base = _BOARD_FIELDS * shard_id
+        cells = self.cells
+        cells[base] = float(rounds)
+        cells[base + 1] = float(horizon)
+        cells[base + 2] = float(now)
+        cells[base + 3] = float(staged)
+
+    def fingerprint(self) -> Tuple[float, ...]:
+        """Everything the stall check compares (rounds excluded)."""
+        return tuple(value for index, value in enumerate(self.cells)
+                     if index % _BOARD_FIELDS != 0)
+
+    def snapshot(self) -> Dict[int, Dict[str, float]]:
+        out: Dict[int, Dict[str, float]] = {}
+        for shard_id in range(self.shard_count):
+            base = _BOARD_FIELDS * shard_id
+            out[shard_id] = {
+                "rounds": int(self.cells[base]),
+                "horizon": self.cells[base + 1],
+                "now": self.cells[base + 2],
+                "staged": int(self.cells[base + 3]),
+            }
+        return out
+
+
+def _resolve_stall_budget(stall_budget: Optional[float]) -> float:
+    if stall_budget is not None:
+        return stall_budget
+    raw = os.environ.get("REPRO_SHARD_STALL_S")
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            pass
+    return _DEFAULT_STALL_S
+
+
+class _StallWatch:
+    """Declare a stall when the board's fingerprint stops changing."""
+
+    def __init__(self, board: ProgressBoard, budget: float):
+        self.board = board
+        self.budget = budget
+        self._fingerprint = board.fingerprint()
+        self._since = time.monotonic()
+
+    def stalled(self) -> bool:
+        fingerprint = self.board.fingerprint()
+        now = time.monotonic()
+        if fingerprint != self._fingerprint:
+            self._fingerprint = fingerprint
+            self._since = now
+            return False
+        return now - self._since > self.budget
+
+    def error(self) -> ShardStallError:
+        snapshot = self.board.snapshot()
+        lines = [f"shard mesh stalled: no progress of the conservative "
+                 f"global minimum within {self.budget:.1f}s"]
+        for shard_id, cell in sorted(snapshot.items()):
+            lines.append(
+                f"  shard {shard_id}: rounds={cell['rounds']} "
+                f"horizon={cell['horizon']} now={cell['now']} "
+                f"staged={cell['staged']}")
+        return ShardStallError("\n".join(lines), snapshot)
 
 
 def derive_shard_seed(seed: int, shard_id: int) -> int:
@@ -328,8 +449,11 @@ class ShardRuntime:
             return
         peers = endpoint.peers
         outbox = self._outbox
+        board = endpoint.progress
+        rounds = 0
         done = False
         while True:
+            rounds += 1
             # My horizon: the earliest instant anything I still hold
             # could fire — next heap/wheel event, earliest staged
             # remote frame, earliest frame in the batches this very
@@ -348,6 +472,11 @@ class ShardRuntime:
                     for item in batch:
                         if item[3] < horizon:
                             horizon = item[3]
+            if board is not None:
+                # Before the send/recv barrier, so a shard blocked on a
+                # wedged peer still published the round it entered with.
+                board.update(self.shard_id, rounds, horizon,
+                             sim._now, len(self._staged))
             for peer in peers:
                 endpoint.send(peer, (horizon, done, outbox[peer]))
                 outbox[peer] = []
@@ -406,7 +535,8 @@ _WORKER_TIMEOUT = 600.0
 
 
 def run_sharded(worker: Callable[..., Any], shard_count: int,
-                mode: str = "auto", args: tuple = ()) -> List[Any]:
+                mode: str = "auto", args: tuple = (),
+                stall_budget: Optional[float] = None) -> List[Any]:
     """Run ``worker(shard_id, shard_count, endpoint, *args)`` K ways.
 
     Returns the per-shard results in shard order. ``shard_count == 1``
@@ -418,6 +548,16 @@ def run_sharded(worker: Callable[..., Any], shard_count: int,
       processes cannot fork, and byte-identical by construction);
     * ``"auto"`` — ``thread`` inside a daemonic process (a sweep pool
       worker cannot fork children), ``process`` otherwise.
+
+    A progress watchdog guards against a wedged mesh: each worker's
+    :meth:`ShardRuntime.run_until` publishes its round state to a
+    shared :class:`ProgressBoard`, and if no shard's state changes for
+    *stall_budget* seconds (default ``REPRO_SHARD_STALL_S`` or 300)
+    the run aborts with :class:`ShardStallError` carrying the
+    per-shard snapshot — a hang becomes a named, diagnosable failure
+    instead of a CI timeout. In thread mode the stalled workers are
+    daemon threads and die with the process; in process mode they are
+    terminated.
     """
     if shard_count < 1:
         raise ValueError(f"shard count must be >= 1: {shard_count}")
@@ -428,9 +568,14 @@ def run_sharded(worker: Callable[..., Any], shard_count: int,
     if mode == "auto":
         mode = ("thread" if multiprocessing.current_process().daemon
                 else "process")
+    budget = _resolve_stall_budget(stall_budget)
 
     if mode == "thread":
         endpoints = make_thread_fabric(shard_count)
+        board = ProgressBoard(shard_count)
+        for endpoint in endpoints:
+            endpoint.progress = board
+        watch = _StallWatch(board, budget)
         results: List[Any] = [None] * shard_count
         failures: List[str] = []
 
@@ -450,12 +595,15 @@ def run_sharded(worker: Callable[..., Any], shard_count: int,
         # Poll rather than one long join: a crashed worker leaves its
         # peers blocked on recv forever, and the first traceback is
         # worth more than waiting out the stragglers.
-        deadline = _WORKER_TIMEOUT
-        while deadline > 0 and not failures \
+        deadline = time.monotonic() + _WORKER_TIMEOUT
+        while not failures \
                 and any(thread.is_alive() for thread in threads):
             for thread in threads:
                 thread.join(timeout=0.05)
-            deadline -= 0.05 * shard_count
+            if watch.stalled():
+                raise watch.error()
+            if time.monotonic() > deadline:
+                break
         if failures:
             raise ShardWorkerError("\n".join(failures))
         if any(thread.is_alive() for thread in threads):
@@ -464,6 +612,10 @@ def run_sharded(worker: Callable[..., Any], shard_count: int,
         return results
 
     endpoints = make_process_fabric(shard_count)
+    board = ProgressBoard.shared(shard_count)
+    for endpoint in endpoints:
+        endpoint.progress = board
+    watch = _StallWatch(board, budget)
     result_queue: Any = multiprocessing.Queue()
     procs = [multiprocessing.Process(
         target=_process_main,
@@ -475,14 +627,19 @@ def run_sharded(worker: Callable[..., Any], shard_count: int,
         proc.start()
     results = [None] * shard_count
     failures = []
+    stall: Optional[ShardStallError] = None
     received = 0
-    while received < shard_count and not failures:
+    deadline = time.monotonic() + _WORKER_TIMEOUT
+    while received < shard_count and not failures and stall is None:
         try:
-            shard_id, ok, payload = result_queue.get(
-                timeout=_WORKER_TIMEOUT)
+            shard_id, ok, payload = result_queue.get(timeout=0.2)
         except queue_mod.Empty:
-            failures.append(f"no shard result within {_WORKER_TIMEOUT}s")
-            break
+            if watch.stalled():
+                stall = watch.error()
+            elif time.monotonic() > deadline:
+                failures.append(
+                    f"no shard result within {_WORKER_TIMEOUT}s")
+            continue
         received += 1
         if ok:
             results[shard_id] = payload
@@ -490,11 +647,13 @@ def run_sharded(worker: Callable[..., Any], shard_count: int,
             # Peers may be blocked on the dead shard's silence — do not
             # wait for results that will never come.
             failures.append(f"shard {shard_id}:\n{payload}")
-    if failures:
+    if failures or stall is not None:
         for proc in procs:
             proc.terminate()
     for proc in procs:
         proc.join()
+    if stall is not None:
+        raise stall
     if failures:
         raise ShardWorkerError("\n".join(failures))
     return results
@@ -512,14 +671,17 @@ class ShardedSimulator:
     picklable data.
     """
 
-    def __init__(self, shards: int, mode: str = "auto"):
+    def __init__(self, shards: int, mode: str = "auto",
+                 stall_budget: Optional[float] = None):
         if shards < 1:
             raise ValueError(f"shard count must be >= 1: {shards}")
         self.shards = shards
         self.mode = mode
+        self.stall_budget = stall_budget
 
     def run(self, worker: Callable[..., Any], *args: Any) -> List[Any]:
-        return run_sharded(worker, self.shards, mode=self.mode, args=args)
+        return run_sharded(worker, self.shards, mode=self.mode, args=args,
+                           stall_budget=self.stall_budget)
 
     def __repr__(self) -> str:
         return f"<ShardedSimulator shards={self.shards} mode={self.mode}>"

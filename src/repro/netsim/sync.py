@@ -105,6 +105,10 @@ class Endpoint:
         self.shard_id = shard_id
         self._senders = senders
         self._receivers = receivers
+        #: Optional shared :class:`repro.netsim.shard.ProgressBoard`;
+        #: :func:`repro.netsim.shard.run_sharded` installs one so its
+        #: stall watchdog can observe every worker's protocol progress.
+        self.progress: Any = None
 
     @property
     def peers(self) -> List[int]:

@@ -66,8 +66,17 @@ A job moves `queued → running → completed | failed | cancelled`.
 `failed` jobs carry a worker traceback (or a timeout notice) in their
 `error` field; `cancelled` covers client cancels and daemon shutdown
 mid-job. Queued jobs survive a daemon restart and run when the daemon
-next starts; jobs interrupted mid-run are closed out as `cancelled`
-with their partial records kept.
+next starts; jobs interrupted mid-run are **resumed** — the store
+checkpoints the highest contiguously-flushed cell index
+(`cells_flushed`) atomically with each flush, and on restart the job
+re-enters the queue and continues from the first unflushed cell with
+its existing records intact. The `resumes` job field counts restarts.
+
+Transient per-cell failures (a crashed pool worker, a raised
+exception) are retried up to the submission's `retries` budget
+(0–10, default 0) with deterministic exponential backoff; a cell
+that exhausts its budget fails the job, but every other cell's
+records still stream.
 
 ### Record streaming and determinism
 
@@ -76,7 +85,10 @@ canonical JSON record per line, in cell-index order. Resume with
 `?offset=N` (skip the first N records); the `X-Next-Offset` response
 header is the offset to resume from, and `X-Job-State` says whether
 more records may still arrive (keep polling until the state is
-terminal). `?format=json` wraps the same rows in a JSON envelope.
+terminal). On a failed job the `X-Job-Error` header carries the last
+line of the failure (the full traceback stays on `GET /v1/jobs/<id>`).
+`?format=json` wraps the same rows in a JSON envelope that also
+carries the full `error` text.
 
 **Determinism contract:** a job's record stream is byte-identical to
 `repro sweep <scenario> --seeds ... --set ... --jsonl out.jsonl` for

@@ -21,22 +21,37 @@ so the stored byte stream equals ``repro sweep --jsonl`` for the same
 grid at any pool size, and ``GET .../records?offset=N`` resumption
 never observes a gap or a reorder.
 
-Robustness: a cell that raises is a `CellResult` carrying the worker
-traceback (the ``ShardWorkerError`` convention) — the job finishes
-``failed`` with that traceback in its status instead of wedging the
-queue; an unexpected orchestration error is caught the same way. A
-per-job wall-clock timeout and client cancellation both ride the
+Robustness (the execution fault-tolerance tier — see
+docs/ARCHITECTURE.md §10):
+
+* A worker death fails only its cell (the runner's crash-isolated
+  pool); each cell is retried up to the job's ``retries`` budget with
+  deterministic backoff, and a cell that still fails surfaces its
+  ``WorkerCrashError``/traceback in ``job.error``.
+* Each flushed cell's records land in one store transaction together
+  with the job's ``cells_flushed`` checkpoint; a transient store-write
+  error (chaos ``FlakyWrites``, a busy database) is retried with
+  backoff before it can fail the job.
+* A job orphaned ``running`` by a dead daemon is resumed **from its
+  checkpoint** on the next start: already-flushed cells' rows are
+  rebuilt from the store (byte-equal by construction), only the
+  remaining cells re-run, and the final record stream is identical to
+  an uninterrupted run.
+
+A per-job wall-clock timeout and client cancellation both ride the
 runner's ``cancel`` callable, which terminates pool workers promptly.
 """
 
 from __future__ import annotations
 
+import json
 import logging
 import queue
+import sqlite3
 import threading
 import time
 import traceback
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.experiments import registry, runner
 from repro.experiments.registry import SubmissionError
@@ -47,7 +62,15 @@ from repro.server.store import Store
 log = logging.getLogger("repro.serve.jobs")
 
 #: Top-level fields a submission may carry (the envelope schema).
-_FIELDS = ("scenario", "seeds", "set", "jobs", "timeout")
+_FIELDS = ("scenario", "seeds", "set", "jobs", "timeout", "retries")
+
+#: Ceiling on the per-job cell retry budget.
+MAX_RETRIES = 10
+
+#: Transient store-write errors are retried this many times, with
+#: _STORE_BACKOFF_S * 2^attempt sleeps between tries.
+_STORE_WRITE_RETRIES = 3
+_STORE_BACKOFF_S = 0.05
 
 
 def validate_submission(payload: Any) -> Dict[str, Any]:
@@ -118,8 +141,14 @@ def validate_submission(payload: Any) -> Dict[str, Any]:
                                   "expected a positive number or null")
         timeout = float(timeout)
 
+    retries = payload.get("retries", 0)
+    if isinstance(retries, bool) or not isinstance(retries, int) \
+            or not 0 <= retries <= MAX_RETRIES:
+        raise SubmissionError(
+            "retries", f"expected an integer in 0..{MAX_RETRIES}")
+
     return {"scenario": name, "seeds": seeds, "set": axes,
-            "jobs": jobs, "timeout": timeout}
+            "jobs": jobs, "timeout": timeout, "retries": retries}
 
 
 def spec_cells(spec: Dict[str, Any]) -> List[runner.SweepCell]:
@@ -129,11 +158,17 @@ def spec_cells(spec: Dict[str, Any]) -> List[runner.SweepCell]:
 
 
 class JobManager:
-    """Background workers executing queued jobs from the store."""
+    """Background workers executing queued jobs from the store.
+
+    *cell_hook* is the chaos-injection seam: a picklable callable
+    passed through to every job's :class:`SweepRunner` (see
+    :mod:`repro.chaos`). Production daemons leave it ``None``.
+    """
 
     def __init__(self, store: Store, workers: int = 2,
                  pool_jobs: int = 1,
-                 default_timeout: Optional[float] = None):
+                 default_timeout: Optional[float] = None,
+                 cell_hook: Optional[Callable] = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if pool_jobs < 1:
@@ -142,6 +177,7 @@ class JobManager:
         self.workers = workers
         self.pool_jobs = pool_jobs
         self.default_timeout = default_timeout
+        self.cell_hook = cell_hook
         self._queue: "queue.Queue[int]" = queue.Queue()
         self._threads: List[threading.Thread] = []
         self._stop = threading.Event()
@@ -149,8 +185,9 @@ class JobManager:
         self._cancels_lock = threading.Lock()
         self._active: Dict[int, int] = {}  # job_id -> worker index
         self._counters = {"jobs_completed": 0, "jobs_failed": 0,
-                          "jobs_cancelled": 0, "cells_completed": 0,
-                          "cells_failed": 0}
+                          "jobs_cancelled": 0, "jobs_resumed": 0,
+                          "cells_completed": 0, "cells_failed": 0,
+                          "cells_retried": 0, "store_write_retries": 0}
         self._counters_lock = threading.Lock()
 
     # -- lifecycle ----------------------------------------------------
@@ -166,9 +203,9 @@ class JobManager:
                 name=f"job-worker-{index}", daemon=True)
             thread.start()
             self._threads.append(thread)
-        if recovered["requeued"] or recovered["cancelled"]:
-            log.info("recovered store: requeued=%s cancelled=%s",
-                     recovered["requeued"], recovered["cancelled"])
+        if recovered["requeued"]:
+            log.info("recovered store: requeued=%s resumed=%s",
+                     recovered["requeued"], recovered["resumed"])
         return recovered
 
     def shutdown(self, drain: bool = False, grace: float = 5.0) -> None:
@@ -266,14 +303,66 @@ class JobManager:
                 with self._cancels_lock:
                     self._cancels.pop(job_id, None)
 
+    def _append_with_retry(self, job_id: int, lines: List[str],
+                           cell_index: int, cells_flushed: int) -> None:
+        """One cell's atomic flush, with transient-error retries.
+
+        A failed transaction rolled back cleanly (the store guarantees
+        it), so retrying re-runs the identical append; errors past the
+        budget propagate into the orchestration-failure path and the
+        job's ``error``.
+        """
+        for attempt in range(_STORE_WRITE_RETRIES + 1):
+            try:
+                self.store.append_records(
+                    job_id, lines, cell_index=cell_index,
+                    cells_flushed=cells_flushed)
+                return
+            except (OSError, sqlite3.OperationalError):
+                if attempt >= _STORE_WRITE_RETRIES:
+                    raise
+                self._count("store_write_retries")
+                time.sleep(_STORE_BACKOFF_S * (2.0 ** attempt))
+
+    def _recovered_results(self, job_id: int,
+                           cells: List[runner.SweepCell],
+                           start_index: int
+                           ) -> List[runner.CellResult]:
+        """Rebuild the flushed prefix's cell results from the store.
+
+        The stored lines are the canonical serialization of the rows,
+        so parsing them back yields value-equal rows — the resumed
+        job's summary aggregates the same numbers an uninterrupted run
+        would have.
+        """
+        rows_by_cell: Dict[int, List[Dict[str, Any]]] = {}
+        for cell_index, line in self.store.fetch_cell_records(job_id):
+            rows_by_cell.setdefault(cell_index, []).append(
+                json.loads(line))
+        return [runner.CellResult(cell=cell,
+                                  rows=rows_by_cell.get(cell.index, []))
+                for cell in cells[:start_index]]
+
     def _run_job(self, job_id: int) -> None:
         job = self.store.get_job(job_id)
         if job is None or job["state"] != jobstore.QUEUED:
             return  # cancelled (or recovered away) before we got here
         spec = job["spec"]
         cells = spec_cells(spec)
+        # Resume point: cells below the checkpoint are already flushed
+        # (stored prefix == serial prefix) and are never re-run.
+        start_index = min(int(job.get("cells_flushed") or 0),
+                          len(cells))
         if not self.store.set_running(job_id, cells_total=len(cells)):
             return  # lost the race with a cancel
+        recovered: List[runner.CellResult] = []
+        if job.get("resumes"):
+            recovered = self._recovered_results(job_id, cells,
+                                                start_index)
+            self._count("jobs_resumed")
+            log.info("job %d resuming from cell %d/%d", job_id,
+                     start_index, len(cells))
+        remaining = len(cells) - start_index
         started = time.monotonic()
         deadline: Optional[float] = None
         timeout = spec.get("timeout") or self.default_timeout
@@ -288,14 +377,19 @@ class JobManager:
             return deadline is not None and time.monotonic() > deadline
 
         sweep = runner.SweepRunner(
-            cells, jobs=min(spec["jobs"], self.pool_jobs))
+            cells[start_index:],
+            jobs=min(spec["jobs"], self.pool_jobs),
+            retries=spec.get("retries", 0),
+            cell_hook=self.cell_hook)
         results: List[runner.CellResult] = []
         by_index: Dict[int, runner.CellResult] = {}
-        next_index = 0
+        next_index = start_index
         first_error: Optional[str] = None
         for result in sweep.stream(cancel=should_stop):
             results.append(result)
             by_index[result.cell.index] = result
+            if result.retried:
+                self._count("cells_retried", result.attempts - 1)
             if not result.ok and first_error is None:
                 first_error = (f"cell {result.cell.label()} failed:\n"
                                f"{result.error}")
@@ -303,36 +397,43 @@ class JobManager:
             elif result.ok:
                 self._count("cells_completed")
             # Flush the completed prefix, in cell-index order — the
-            # determinism contract for streamed records.
+            # determinism contract for streamed records. Each cell is
+            # one transaction that also advances the checkpoint.
             while next_index in by_index:
                 done = by_index.pop(next_index)
-                if done.rows:
-                    self.store.append_records(
-                        job_id, [record_line(row) for row in done.rows])
+                self._append_with_retry(
+                    job_id,
+                    [record_line(row) for row in done.rows],
+                    cell_index=next_index,
+                    cells_flushed=next_index + 1)
                 next_index += 1
-            self.store.set_progress(job_id, len(results))
+            self.store.set_progress(job_id,
+                                    start_index + len(results))
 
         elapsed = time.monotonic() - started
         if cancel_event.is_set() or \
-                (self._stop.is_set() and len(results) < len(cells)):
+                (self._stop.is_set() and len(results) < remaining):
             self.store.finish_job(job_id, jobstore.CANCELLED,
                                   error=None)
             self._count("jobs_cancelled")
             log.info("job %d cancelled after %.2fs (%d/%d cells)",
-                     job_id, elapsed, len(results), len(cells))
+                     job_id, elapsed, start_index + len(results),
+                     len(cells))
             return
-        if deadline is not None and len(results) < len(cells) and \
+        if deadline is not None and len(results) < remaining and \
                 time.monotonic() > deadline:
             self.store.finish_job(
                 job_id, jobstore.FAILED,
                 error=f"timeout: exceeded {timeout:.1f}s budget after "
-                      f"{len(results)}/{len(cells)} cells")
+                      f"{start_index + len(results)}/{len(cells)} "
+                      f"cells")
             self._count("jobs_failed")
             log.warning("job %d timed out after %.2fs", job_id, elapsed)
             return
 
         report = runner.SweepReport(
-            cells=sorted(results, key=lambda r: r.cell.index))
+            cells=sorted(recovered + results,
+                         key=lambda r: r.cell.index))
         try:
             summary = report.as_payload()
             summary.pop("rows", None)  # rows live in the record store

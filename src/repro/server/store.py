@@ -2,9 +2,9 @@
 
 One database file holds everything the daemon must not lose across
 restarts: the job table (submission spec, state machine, progress,
-error tracebacks), every streamed record row (as its canonical JSON
-line — see :func:`repro.metrics.report.record_line`), and the
-aggregated summary artifact of each completed job.
+checkpoint, error tracebacks), every streamed record row (as its
+canonical JSON line — see :func:`repro.metrics.report.record_line`),
+and the aggregated summary artifact of each completed job.
 
 Concurrency model: the daemon is one process with a handful of threads
 (HTTP handlers + job workers), so a single shared connection guarded
@@ -18,10 +18,18 @@ State machine::
                       -> failed      (cell error, timeout, crash)
                       -> cancelled   (client cancel, daemon shutdown)
     queued -> cancelled              (cancelled before a worker took it)
+    running -> queued                (recover(): orphaned by a dead
+                                      daemon, resumed from checkpoint)
 
+Checkpoint invariant: ``cells_flushed`` on a job counts the highest
+*contiguously flushed* cell prefix, and it only advances inside the
+same transaction that appends that cell's records — so at every
+instant (including any crash point) the stored record stream is
+byte-equal to the serial prefix for cells ``[0, cells_flushed)``.
 ``recover()`` runs once at daemon startup: jobs a previous process
-left ``running`` are marked ``cancelled`` (their partial records are
-kept — offsets stay valid), and ``queued`` jobs are re-queued.
+left ``running`` are put back to ``queued`` with their checkpoint and
+flushed records intact (the manager re-runs them *from* the
+checkpoint), and already-``queued`` jobs are re-queued.
 """
 
 from __future__ import annotations
@@ -31,7 +39,7 @@ import os
 import sqlite3
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 #: Job states (the full vocabulary; nothing else ever enters the DB).
 QUEUED = "queued"
@@ -47,19 +55,22 @@ TERMINAL = (COMPLETED, FAILED, CANCELLED)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
-    id          INTEGER PRIMARY KEY AUTOINCREMENT,
-    spec        TEXT NOT NULL,
-    state       TEXT NOT NULL,
-    error       TEXT,
-    cells_total INTEGER NOT NULL DEFAULT 0,
-    cells_done  INTEGER NOT NULL DEFAULT 0,
-    created_at  REAL NOT NULL,
-    started_at  REAL,
-    finished_at REAL
+    id            INTEGER PRIMARY KEY AUTOINCREMENT,
+    spec          TEXT NOT NULL,
+    state         TEXT NOT NULL,
+    error         TEXT,
+    cells_total   INTEGER NOT NULL DEFAULT 0,
+    cells_done    INTEGER NOT NULL DEFAULT 0,
+    cells_flushed INTEGER NOT NULL DEFAULT 0,
+    resumes       INTEGER NOT NULL DEFAULT 0,
+    created_at    REAL NOT NULL,
+    started_at    REAL,
+    finished_at   REAL
 );
 CREATE TABLE IF NOT EXISTS records (
     job_id INTEGER NOT NULL,
     seq    INTEGER NOT NULL,
+    cell   INTEGER NOT NULL DEFAULT -1,
     line   TEXT NOT NULL,
     PRIMARY KEY (job_id, seq)
 ) WITHOUT ROWID;
@@ -69,6 +80,16 @@ CREATE TABLE IF NOT EXISTS summaries (
 );
 CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state);
 """
+
+#: Columns added after PR 8 shipped: reopening an old database gets
+#: them via ALTER TABLE (sqlite raises OperationalError when the
+#: column already exists — that is the common, silent case).
+_MIGRATIONS = (
+    "ALTER TABLE jobs ADD COLUMN cells_flushed INTEGER NOT NULL "
+    "DEFAULT 0",
+    "ALTER TABLE jobs ADD COLUMN resumes INTEGER NOT NULL DEFAULT 0",
+    "ALTER TABLE records ADD COLUMN cell INTEGER NOT NULL DEFAULT -1",
+)
 
 
 class StoreError(RuntimeError):
@@ -88,8 +109,18 @@ class Store:
         self._db = sqlite3.connect(path, check_same_thread=False)
         self._db.row_factory = sqlite3.Row
         self._lock = threading.Lock()
+        #: Chaos seam: called inside every append transaction (after
+        #: the SQL, before commit). A hook that raises rolls the whole
+        #: transaction back — records and checkpoint stay consistent.
+        self.write_fault: Optional[
+            Callable[[int, List[str]], None]] = None
         with self._lock:
             self._db.executescript(_SCHEMA)
+            for migration in _MIGRATIONS:
+                try:
+                    self._db.execute(migration)
+                except sqlite3.OperationalError:
+                    pass  # column already present
             if path != ":memory:":
                 self._db.execute("PRAGMA journal_mode=WAL")
             self._db.commit()
@@ -167,43 +198,79 @@ class Store:
     def recover(self) -> Dict[str, List[int]]:
         """Startup pass over a reopened database.
 
-        Jobs a dead daemon left ``running`` are closed out as
-        ``cancelled`` (partial records kept); ``queued`` jobs are
-        returned for re-submission to the fresh queue.
+        Jobs a dead daemon left ``running`` are put back to ``queued``
+        with their checkpoint intact — the manager resumes them from
+        ``cells_flushed`` — and records beyond the checkpoint (none,
+        normally: appends are atomic with the checkpoint; possible
+        only for pre-checkpoint databases) are dropped so the stored
+        prefix stays trustworthy. Idempotent: a second call finds no
+        ``running`` jobs and merely re-lists the queue.
+
+        Returns ``{"requeued": [...], "resumed": [...]}`` — *resumed*
+        are the formerly-running ids (a subset of *requeued*).
         """
         with self._lock:
-            running = [int(r["id"]) for r in self._db.execute(
-                "SELECT id FROM jobs WHERE state = ?", (RUNNING,))]
-            self._db.execute(
-                "UPDATE jobs SET state = ?, error = ?, finished_at = ?"
-                " WHERE state = ?",
-                (CANCELLED, "daemon stopped mid-job", time.time(),
-                 RUNNING))
+            resumed = [int(r["id"]) for r in self._db.execute(
+                "SELECT id FROM jobs WHERE state = ? ORDER BY id",
+                (RUNNING,))]
+            for job_id in resumed:
+                row = self._db.execute(
+                    "SELECT cells_flushed FROM jobs WHERE id = ?",
+                    (job_id,)).fetchone()
+                flushed = int(row["cells_flushed"])
+                self._db.execute(
+                    "DELETE FROM records WHERE job_id = ?"
+                    " AND (cell < 0 OR cell >= ?)", (job_id, flushed))
+                self._db.execute(
+                    "UPDATE jobs SET state = ?, error = NULL,"
+                    " resumes = resumes + 1 WHERE id = ?",
+                    (QUEUED, job_id))
             queued = [int(r["id"]) for r in self._db.execute(
                 "SELECT id FROM jobs WHERE state = ? ORDER BY id",
                 (QUEUED,))]
             self._db.commit()
-        return {"requeued": queued, "cancelled": running}
+        return {"requeued": queued, "resumed": resumed}
 
     # -- record streaming ---------------------------------------------
 
-    def append_records(self, job_id: int, lines: List[str]) -> int:
+    def append_records(self, job_id: int, lines: List[str],
+                       cell_index: int = -1,
+                       cells_flushed: Optional[int] = None) -> int:
         """Append canonical record *lines*; returns the new count.
 
         Lines are already serialized by
         :func:`repro.metrics.report.record_line` — the store never
         re-encodes them, so fetches return the exact submitted bytes.
+        *cell_index* tags the rows with the sweep cell that produced
+        them (resume rebuilds per-cell rows from it), and
+        *cells_flushed* advances the job's checkpoint **in the same
+        transaction** — a crash between any two appends therefore
+        leaves records and checkpoint mutually consistent. An empty
+        *lines* with a checkpoint still advances it (a cell can
+        legitimately produce zero rows).
         """
         with self._lock:
-            row = self._db.execute(
-                "SELECT COALESCE(MAX(seq) + 1, 0) AS next FROM records"
-                " WHERE job_id = ?", (job_id,)).fetchone()
-            base = int(row["next"])
-            self._db.executemany(
-                "INSERT INTO records (job_id, seq, line) VALUES (?,?,?)",
-                [(job_id, base + i, line)
-                 for i, line in enumerate(lines)])
-            self._db.commit()
+            try:
+                row = self._db.execute(
+                    "SELECT COALESCE(MAX(seq) + 1, 0) AS next"
+                    " FROM records WHERE job_id = ?",
+                    (job_id,)).fetchone()
+                base = int(row["next"])
+                self._db.executemany(
+                    "INSERT INTO records (job_id, seq, cell, line)"
+                    " VALUES (?, ?, ?, ?)",
+                    [(job_id, base + i, cell_index, line)
+                     for i, line in enumerate(lines)])
+                if cells_flushed is not None:
+                    self._db.execute(
+                        "UPDATE jobs SET cells_flushed = ?"
+                        " WHERE id = ?", (cells_flushed, job_id))
+                if self.write_fault is not None:
+                    self.write_fault(job_id, lines)
+                self._db.commit()
+            except BaseException:
+                self._db.rollback()
+                raise
             return base + len(lines)
 
     def fetch_records(self, job_id: int, offset: int = 0,
@@ -217,6 +284,15 @@ class Store:
             args += (limit,)
         with self._lock:
             return [r["line"] for r in self._db.execute(query, args)]
+
+    def fetch_cell_records(self, job_id: int
+                           ) -> List[Tuple[int, str]]:
+        """``(cell_index, line)`` pairs in append order — the resume
+        path's raw material for rebuilding flushed cells' rows."""
+        with self._lock:
+            return [(int(r["cell"]), r["line"]) for r in self._db.execute(
+                "SELECT cell, line FROM records WHERE job_id = ?"
+                " ORDER BY seq", (job_id,))]
 
     def record_count(self, job_id: int) -> int:
         with self._lock:

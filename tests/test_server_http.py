@@ -346,3 +346,55 @@ class TestPidfile:
             assert status == 200
         finally:
             daemon.stop()
+
+
+class TestErrorSurfacing:
+    FAILING_SPEC = {"scenario": "churn", "seeds": [0],
+                    "set": {"topology": ["demo"],
+                            "protocols": ["learning"],
+                            "duration": [1]}}
+
+    def test_failed_job_error_rides_headers_and_envelope(self, tmp_path):
+        daemon, base = make_daemon(tmp_path)
+        try:
+            _, _, body = request(base, "/v1/jobs", method="POST",
+                                 payload=self.FAILING_SPEC)
+            job = json.loads(body)["job"]
+            final = wait_state(base, job["id"], store_mod.TERMINAL)
+            assert final["state"] == store_mod.FAILED
+
+            status, headers, _ = request(
+                base, f"/v1/jobs/{job['id']}/records")
+            assert status == 200
+            assert headers["X-Job-State"] == store_mod.FAILED
+            # one header-safe line: the traceback's terminal summary
+            error_line = headers["X-Job-Error"]
+            assert "ValueError" in error_line
+            assert "\n" not in error_line
+            assert len(error_line) <= 200
+
+            status, payload = get_json(
+                base, f"/v1/jobs/{job['id']}/records?format=json")
+            assert status == 200
+            assert payload["state"] == store_mod.FAILED
+            # the envelope carries the *full* error, traceback and all
+            assert "Traceback" in payload["error"]
+            assert "ValueError" in payload["error"]
+        finally:
+            daemon.stop()
+
+    def test_completed_job_has_no_error_header(self, tmp_path):
+        daemon, base = make_daemon(tmp_path)
+        try:
+            _, _, body = request(base, "/v1/jobs", method="POST",
+                                 payload=SCALE_SPEC)
+            job = json.loads(body)["job"]
+            wait_state(base, job["id"], store_mod.TERMINAL)
+            _, headers, _ = request(base,
+                                    f"/v1/jobs/{job['id']}/records")
+            assert "X-Job-Error" not in headers
+            _, payload = get_json(
+                base, f"/v1/jobs/{job['id']}/records?format=json")
+            assert payload["error"] is None
+        finally:
+            daemon.stop()

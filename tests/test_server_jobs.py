@@ -225,3 +225,145 @@ class TestShutdownAndRecovery:
         assert stats["jobs_completed"] >= 1
         assert stats["cells_completed"] >= 2
         assert stats["workers"] == 2
+
+
+def serial_reference(raw_spec):
+    """The fault-free record stream + summary rows for *raw_spec*."""
+    spec = jobs_mod.validate_submission(raw_spec)
+    cells = jobs_mod.spec_cells(spec)
+    report = runner.SweepReport(cells=sorted(
+        runner.SweepRunner(cells, jobs=1).stream(),
+        key=lambda r: r.cell.index))
+    lines = [record_line(row) for row in report.rows()]
+    return spec, cells, lines, report
+
+
+class TestResumeFromCheckpoint:
+    def test_resumed_job_records_byte_identical(self, tmp_path):
+        # Fabricate the exact on-disk state a SIGKILL'd daemon leaves:
+        # a RUNNING job whose first cell was flushed atomically with
+        # the checkpoint, nothing else. The restarted manager must run
+        # only the remaining cell and close the stream byte-identical
+        # to an uninterrupted run.
+        spec, cells, reference, report = serial_reference(SCALE_SPEC)
+        first_cell_lines = [record_line(row)
+                            for row in report.cells[0].rows]
+        db = str(tmp_path / "jobs.db")
+        store = Store(db)
+        job_id = store.create_job(spec, cells_total=len(cells))
+        store.set_running(job_id, cells_total=len(cells))
+        store.append_records(job_id, first_cell_lines, cell_index=0,
+                             cells_flushed=1)
+        store.close()  # the daemon dies here
+
+        store = Store(db)
+        mgr = JobManager(store, workers=1, pool_jobs=1)
+        try:
+            recovered = mgr.start()
+            assert recovered["resumed"] == [job_id]
+            done = wait_terminal(store, job_id)
+            assert done["state"] == store_mod.COMPLETED
+            assert done["resumes"] == 1
+            assert done["cells_flushed"] == len(cells)
+            assert store.fetch_records(job_id) == reference
+            # the summary aggregates recovered + fresh cells alike
+            summary = store.get_summary(job_id)
+            assert summary["summary"] == \
+                report.as_payload()["summary"]
+            assert mgr.stats()["jobs_resumed"] == 1
+        finally:
+            mgr.shutdown()
+            store.close()
+
+    def test_resumed_job_with_zero_flushed_cells_runs_fully(self,
+                                                            tmp_path):
+        spec, cells, reference, _ = serial_reference(SCALE_SPEC)
+        db = str(tmp_path / "jobs.db")
+        store = Store(db)
+        job_id = store.create_job(spec, cells_total=len(cells))
+        store.set_running(job_id, cells_total=len(cells))
+        store.close()  # died before any flush
+
+        store = Store(db)
+        mgr = JobManager(store, workers=1, pool_jobs=1)
+        try:
+            assert mgr.start()["resumed"] == [job_id]
+            done = wait_terminal(store, job_id)
+            assert done["state"] == store_mod.COMPLETED
+            assert store.fetch_records(job_id) == reference
+        finally:
+            mgr.shutdown()
+            store.close()
+
+
+class TestRetriesAndChaos:
+    def run_with_hook(self, raw_spec, hook, pool_jobs=1,
+                      write_fault=None):
+        store = Store(":memory:")
+        if write_fault is not None:
+            store.write_fault = write_fault
+        mgr = JobManager(store, workers=1, pool_jobs=pool_jobs,
+                         cell_hook=hook)
+        mgr.start()
+        try:
+            job = mgr.submit(raw_spec)
+            done = wait_terminal(store, job["id"])
+            return done, store.fetch_records(job["id"]), mgr.stats()
+        finally:
+            mgr.shutdown(drain=False, grace=2.0)
+            store.close()
+
+    def test_transient_cell_fault_retried_to_byte_parity(self):
+        from repro.chaos import RaiseError
+        _, _, reference, _ = serial_reference(SCALE_SPEC)
+        done, records, stats = self.run_with_hook(
+            dict(SCALE_SPEC, retries=1),
+            RaiseError(cell_index=0, failures=1))
+        assert done["state"] == store_mod.COMPLETED
+        assert records == reference
+        assert stats["cells_retried"] >= 1
+
+    def test_worker_crash_surfaces_named_error(self):
+        from repro.chaos import KillWorker
+        _, _, _, report = serial_reference(SCALE_SPEC)
+        done, records, _ = self.run_with_hook(
+            dict(SCALE_SPEC, jobs=2),
+            KillWorker(cell_index=0, kills=1), pool_jobs=2)
+        assert done["state"] == store_mod.FAILED
+        assert "WorkerCrashError" in done["error"]
+        assert "cell " in done["error"]
+        # a partial sweep still returns every good row: the crashed
+        # cell flushes empty and the surviving cell's records follow
+        assert done["cells_flushed"] == 2
+        assert records == [record_line(row)
+                           for row in report.cells[1].rows]
+
+    def test_worker_crash_retried_to_byte_parity(self):
+        from repro.chaos import KillWorker
+        _, _, reference, _ = serial_reference(SCALE_SPEC)
+        done, records, stats = self.run_with_hook(
+            dict(SCALE_SPEC, jobs=2, retries=1),
+            KillWorker(cell_index=1, kills=1), pool_jobs=2)
+        assert done["state"] == store_mod.COMPLETED
+        assert records == reference
+        assert stats["cells_retried"] >= 1
+
+    def test_store_write_faults_absorbed_by_retry(self):
+        from repro.chaos import FlakyWrites
+        _, _, reference, _ = serial_reference(SCALE_SPEC)
+        flaky = FlakyWrites(fail_on={1})
+        done, records, stats = self.run_with_hook(
+            SCALE_SPEC, None, write_fault=flaky)
+        assert done["state"] == store_mod.COMPLETED
+        assert flaky.failures == 1
+        assert records == reference
+        assert stats["store_write_retries"] >= 1
+
+    def test_validate_rejects_bad_retries(self):
+        for bad in (-1, 11, True, "2", 1.5):
+            with pytest.raises(registry.SubmissionError):
+                jobs_mod.validate_submission(
+                    dict(SCALE_SPEC, retries=bad))
+        spec = jobs_mod.validate_submission(dict(SCALE_SPEC, retries=3))
+        assert spec["retries"] == 3
+        assert jobs_mod.validate_submission(SCALE_SPEC)["retries"] == 0

@@ -154,27 +154,160 @@ class TestDurability:
         finally:
             second.close()
 
-    def test_recover_cancels_running_and_requeues_queued(self, tmp_path):
+    def test_recover_resumes_running_and_requeues_queued(self, tmp_path):
         db = str(tmp_path / "jobs.db")
         first = Store(db)
         interrupted = first.create_job(SPEC, 2)
         first.set_running(interrupted, cells_total=2)
-        first.append_records(interrupted, ['{"seed":0}'])
+        first.append_records(interrupted, ['{"seed":0}'], cell_index=0,
+                             cells_flushed=1)
         waiting = first.create_job(SPEC, 1)
         first.close()  # daemon dies here
 
         second = Store(db)
         try:
             outcome = second.recover()
-            assert outcome["requeued"] == [waiting]
-            assert outcome["cancelled"] == [interrupted]
+            assert outcome["requeued"] == [interrupted, waiting]
+            assert outcome["resumed"] == [interrupted]
             job = second.get_job(interrupted)
-            assert job["state"] == store_mod.CANCELLED
-            assert "daemon stopped" in job["error"]
-            # partial records are kept, not rolled back
+            # back in the queue with the checkpoint + records intact:
+            # the manager re-runs it *from* cell 1, not from scratch
+            assert job["state"] == store_mod.QUEUED
+            assert job["error"] is None
+            assert job["cells_flushed"] == 1
+            assert job["resumes"] == 1
             assert second.fetch_records(interrupted) == ['{"seed":0}']
         finally:
             second.close()
+
+    def test_recover_orphan_with_zero_flushed_records(self, tmp_path):
+        db = str(tmp_path / "jobs.db")
+        first = Store(db)
+        job_id = first.create_job(SPEC, 2)
+        first.set_running(job_id, cells_total=2)
+        first.close()  # died before flushing anything
+
+        second = Store(db)
+        try:
+            outcome = second.recover()
+            assert outcome["resumed"] == [job_id]
+            job = second.get_job(job_id)
+            assert job["state"] == store_mod.QUEUED
+            assert job["cells_flushed"] == 0
+            assert second.fetch_records(job_id) == []
+        finally:
+            second.close()
+
+    def test_recover_drops_records_beyond_the_checkpoint(self, tmp_path):
+        # Pre-checkpoint databases (or a hypothetical torn write) can
+        # hold records the checkpoint does not vouch for; recovery must
+        # drop them so the stored prefix stays trustworthy.
+        db = str(tmp_path / "jobs.db")
+        first = Store(db)
+        job_id = first.create_job(SPEC, 2)
+        first.set_running(job_id, cells_total=2)
+        first.append_records(job_id, ['{"seed":0}'], cell_index=0,
+                             cells_flushed=1)
+        first.append_records(job_id, ['{"legacy":1}'])  # untagged, no ckpt
+        first.close()
+
+        second = Store(db)
+        try:
+            second.recover()
+            assert second.fetch_records(job_id) == ['{"seed":0}']
+        finally:
+            second.close()
+
+    def test_recover_twice_is_idempotent(self, tmp_path):
+        db = str(tmp_path / "jobs.db")
+        first = Store(db)
+        job_id = first.create_job(SPEC, 2)
+        first.set_running(job_id, cells_total=2)
+        first.append_records(job_id, ['{"seed":0}'], cell_index=0,
+                             cells_flushed=1)
+        first.close()
+
+        second = Store(db)
+        try:
+            assert second.recover()["resumed"] == [job_id]
+            again = second.recover()
+            assert again["resumed"] == []
+            assert again["requeued"] == [job_id]
+            job = second.get_job(job_id)
+            assert job["resumes"] == 1  # not double-counted
+            assert second.fetch_records(job_id) == ['{"seed":0}']
+        finally:
+            second.close()
+
+    def test_cancel_racing_recovery_wins(self, tmp_path):
+        # A client cancel that lands after recover() re-queued the job
+        # must stick: finish_job flips queued -> cancelled, and the
+        # worker's set_running guard then refuses to start it.
+        db = str(tmp_path / "jobs.db")
+        first = Store(db)
+        job_id = first.create_job(SPEC, 2)
+        first.set_running(job_id, cells_total=2)
+        first.close()
+
+        second = Store(db)
+        try:
+            assert second.recover()["resumed"] == [job_id]
+            second.finish_job(job_id, store_mod.CANCELLED,
+                              error="cancelled before start")
+            assert second.get_job(job_id)["state"] == store_mod.CANCELLED
+            assert second.set_running(job_id, cells_total=2) is False
+        finally:
+            second.close()
+
+
+class TestCheckpoint:
+    def test_checkpoint_advances_with_the_append(self, store):
+        job_id = store.create_job(SPEC, 2)
+        store.append_records(job_id, ['{"a":1}'], cell_index=0,
+                             cells_flushed=1)
+        job = store.get_job(job_id)
+        assert job["cells_flushed"] == 1
+        assert job["record_count"] == 1
+
+    def test_empty_cell_still_advances_checkpoint(self, store):
+        job_id = store.create_job(SPEC, 2)
+        store.append_records(job_id, [], cell_index=0, cells_flushed=1)
+        job = store.get_job(job_id)
+        assert job["cells_flushed"] == 1
+        assert job["record_count"] == 0
+
+    def test_write_fault_rolls_back_records_and_checkpoint(self, store):
+        job_id = store.create_job(SPEC, 2)
+        store.append_records(job_id, ['{"a":1}'], cell_index=0,
+                             cells_flushed=1)
+
+        def explode(jid, lines):
+            raise OSError("chaos: disk on fire")
+
+        store.write_fault = explode
+        with pytest.raises(OSError):
+            store.append_records(job_id, ['{"b":2}'], cell_index=1,
+                                 cells_flushed=2)
+        store.write_fault = None
+        # the failed transaction left no trace — retrying it appends
+        # the identical batch at the identical seq
+        job = store.get_job(job_id)
+        assert job["cells_flushed"] == 1
+        assert store.fetch_records(job_id) == ['{"a":1}']
+        store.append_records(job_id, ['{"b":2}'], cell_index=1,
+                             cells_flushed=2)
+        assert store.fetch_records(job_id) == ['{"a":1}', '{"b":2}']
+        assert store.get_job(job_id)["cells_flushed"] == 2
+
+    def test_fetch_cell_records_pairs_rows_with_cells(self, store):
+        job_id = store.create_job(SPEC, 3)
+        store.append_records(job_id, ['{"a":1}', '{"a":2}'],
+                             cell_index=0, cells_flushed=1)
+        store.append_records(job_id, [], cell_index=1, cells_flushed=2)
+        store.append_records(job_id, ['{"c":1}'], cell_index=2,
+                             cells_flushed=3)
+        assert store.fetch_cell_records(job_id) == [
+            (0, '{"a":1}'), (0, '{"a":2}'), (2, '{"c":1}')]
 
 
 class TestConcurrency:

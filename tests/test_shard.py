@@ -287,3 +287,58 @@ class TestAuditPendingEvents:
         sim.run_below(0.5)
         assert sink == ["a"]
         assert sim.audit_pending_events() == sim.pending_events == 2
+
+
+def _wedged_worker(shard_id, shard_count, endpoint):
+    # Shard 0 wedges before its first round; the others block forever
+    # in recv waiting for its horizon message.
+    import time as _time
+    if shard_id == 0:
+        _time.sleep(3600.0)
+        return
+    for peer in endpoint.peers:
+        endpoint.send(peer, (0.0, False, []))
+    for peer in endpoint.peers:
+        endpoint.recv(peer)
+
+
+class TestStallWatchdog:
+    def test_thread_mesh_stall_raises_with_snapshot(self):
+        from repro.netsim.shard import ShardStallError
+        with pytest.raises(ShardStallError) as excinfo:
+            run_sharded(_wedged_worker, 2, mode="thread",
+                        stall_budget=0.5)
+        assert sorted(excinfo.value.snapshot) == [0, 1]
+        # snapshot rows carry the per-shard progress fields
+        for fields in excinfo.value.snapshot.values():
+            assert {"rounds", "horizon", "staged"} <= set(fields)
+
+    def test_process_mesh_stall_raises_with_snapshot(self):
+        from repro.netsim.shard import ShardStallError
+        with pytest.raises(ShardStallError) as excinfo:
+            run_sharded(_wedged_worker, 2, mode="process",
+                        stall_budget=0.5)
+        assert sorted(excinfo.value.snapshot) == [0, 1]
+
+    def test_stall_error_is_a_shard_worker_error(self):
+        from repro.netsim.shard import ShardStallError
+        assert issubclass(ShardStallError, ShardWorkerError)
+
+    def test_fingerprint_ignores_round_counter(self):
+        # A shard spinning rounds without advancing its horizon is a
+        # livelock, and must still count as stalled.
+        from repro.netsim.shard import ProgressBoard
+        board = ProgressBoard(2)
+        board.update(0, rounds=1, horizon=1.0, now=0.5, staged=3)
+        before = board.fingerprint()
+        board.update(0, rounds=99, horizon=1.0, now=0.5, staged=3)
+        assert board.fingerprint() == before
+        board.update(0, rounds=100, horizon=2.0, now=0.5, staged=3)
+        assert board.fingerprint() != before
+
+    def test_healthy_mesh_never_trips_the_watchdog(self):
+        def worker(shard_id, shard_count, endpoint):
+            return shard_id
+
+        assert run_sharded(worker, 2, mode="thread",
+                           stall_budget=30.0) == [0, 1]
